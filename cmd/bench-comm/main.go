@@ -1,0 +1,114 @@
+// Command bench-comm regenerates Table 5 (global transpose performance as a
+// function of the CommA x CommB split) and Figure 4 (the communication
+// pattern of the two sub-communicators).
+//
+// The Table 5 scales (8192 Mira cores, 384 Lonestar cores) come from the
+// machine model; -live additionally measures real in-process transpose
+// cycles over the message-passing runtime at laptop scale, sweeping the
+// same split dimension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"channeldns/internal/machine"
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+	"channeldns/internal/pencil"
+	"channeldns/internal/perf"
+)
+
+func main() {
+	pattern := flag.Bool("pattern", false, "print the Figure 4 communicator pattern (128 ranks)")
+	live := flag.Bool("live", false, "also run live in-process transpose cycles")
+	flag.Parse()
+
+	if *pattern {
+		printPattern()
+		return
+	}
+
+	tbl := perf.Table{
+		Title:   "Table 5: global transpose cycle time vs CommA x CommB split",
+		Headers: []string{"system", "CommA", "CommB", "model (s)", "paper (s)"},
+	}
+	for _, r := range machine.Table5() {
+		tbl.AddRowf(r.System, r.PA, r.PB, r.Model, r.Paper)
+	}
+	tbl.Write(os.Stdout)
+
+	if *live {
+		fmt.Println("\nLive in-process transpose cycle (16 ranks, 64x32x32 modes, 3 fields):")
+		lt := perf.Table{Headers: []string{"CommA", "CommB", "elapsed"}}
+		for _, split := range [][2]int{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}} {
+			lt.AddRowf(split[0], split[1], liveCycle(split[0], split[1]).String())
+		}
+		lt.Write(os.Stdout)
+	}
+}
+
+func liveCycle(pa, pb int) time.Duration {
+	var elapsed time.Duration
+	mpi.Run(pa*pb, func(c *mpi.Comm) {
+		d := pencil.New(c, pa, pb, 32, 32, 32, par.NewPool(1))
+		fields := make([][]complex128, 3)
+		for f := range fields {
+			fields[f] = make([]complex128, d.YPencilLen())
+		}
+		c.Barrier()
+		t0 := time.Now()
+		for it := 0; it < 4; it++ {
+			zp := d.YtoZ(nil, fields)
+			xp := d.ZtoX(nil, zp, d.NZ)
+			zp2 := d.XtoZ(nil, xp, d.NZ)
+			d.ZtoY(nil, zp2)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			elapsed = time.Since(t0)
+		}
+	})
+	return elapsed
+}
+
+// printPattern reproduces Figure 4: for a 128-task 8x16 cartesian grid, the
+// CommA (row) and CommB (column) membership of every rank.
+func printPattern() {
+	fmt.Println("Figure 4: communication pattern of 128 MPI tasks (8x16 grid)")
+	fmt.Println("Each cell shows worldRank; ranks sharing a row exchange in CommB(16),")
+	fmt.Println("ranks sharing a column exchange in CommA(8).")
+	mpi.Run(128, func(c *mpi.Comm) {
+		cart := c.CartCreate([]int{8, 16})
+		commA := cart.CartSub([]bool{true, false})
+		commB := cart.CartSub([]bool{false, true})
+		// Rank 0 gathers (worldRank, coordsA, coordsB) and prints the grid.
+		info := []int{c.Rank(), cart.Coords()[0], cart.Coords()[1], commA.Rank(), commB.Rank()}
+		all := mpi.Gather(c, 0, info)
+		if c.Rank() != 0 {
+			return
+		}
+		grid := make([][]int, 8)
+		for i := range grid {
+			grid[i] = make([]int, 16)
+		}
+		for i := 0; i < 128; i++ {
+			rec := all[i*5 : i*5+5]
+			grid[rec[1]][rec[2]] = rec[0]
+		}
+		for r := 0; r < 8; r++ {
+			fmt.Printf("CommB group %2d (black): ", r)
+			for q := 0; q < 16; q++ {
+				fmt.Printf("%4d", grid[r][q])
+			}
+			fmt.Println()
+		}
+		fmt.Println("CommA groups (red) are the 16 columns above, e.g. column 0:")
+		for r := 0; r < 8; r++ {
+			fmt.Printf("%4d", grid[r][0])
+		}
+		fmt.Println()
+	})
+}

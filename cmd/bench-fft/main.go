@@ -1,0 +1,79 @@
+// Command bench-fft regenerates Table 6: strong scaling of the parallel FFT
+// cycle, customized kernel vs the P3DFFT-style baseline, on Mira, Lonestar
+// and Stampede (machine model), optionally with live in-process runs of
+// both kernels at laptop scale (-live).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"channeldns/internal/machine"
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+	"channeldns/internal/parfft"
+	"channeldns/internal/perf"
+)
+
+func main() {
+	live := flag.Bool("live", false, "also run live in-process FFT cycles")
+	flag.Parse()
+
+	tbl := perf.Table{
+		Title: "Table 6: parallel FFT strong scaling (elapsed seconds)",
+		Headers: []string{"system", "cores", "P3DFFT model", "Custom model", "ratio",
+			"P3DFFT paper", "Custom paper", "paper ratio"},
+	}
+	fmtNA := func(v float64) string {
+		if v == 0 {
+			return "N/A"
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for _, r := range machine.Table6() {
+		tbl.AddRow(r.System, fmt.Sprint(r.Cores),
+			fmtNA(r.ModelP3DFFT), fmtNA(r.ModelCustom), fmtNA(r.ModelRatio),
+			fmtNA(r.PaperP3DFFT), fmtNA(r.PaperCustom), fmtNA(r.PaperRatio))
+	}
+	tbl.Write(os.Stdout)
+
+	if *live {
+		fmt.Printf("\nLive in-process cycles (GOMAXPROCS=%d), 64x32x64 grid, 3 fields:\n", runtime.GOMAXPROCS(0))
+		lt := perf.Table{Headers: []string{"ranks", "custom", "baseline", "ratio"}}
+		for _, p := range [][2]int{{1, 1}, {2, 2}, {4, 2}} {
+			c := liveCycle(p[0], p[1], true)
+			b := liveCycle(p[0], p[1], false)
+			lt.AddRowf(p[0]*p[1], c.String(), b.String(), b.Seconds()/c.Seconds())
+		}
+		lt.Write(os.Stdout)
+	}
+}
+
+func liveCycle(pa, pb int, custom bool) time.Duration {
+	var elapsed time.Duration
+	mpi.Run(pa*pb, func(c *mpi.Comm) {
+		var k *parfft.Kernel
+		if custom {
+			k = parfft.NewCustom(c, pa, pb, 64, 32, 64, par.NewPool(2))
+		} else {
+			k = parfft.NewBaseline(c, pa, pb, 64, 32, 64)
+		}
+		fields := make([][]complex128, 3)
+		for f := range fields {
+			fields[f] = make([]complex128, k.YPencilLen())
+		}
+		c.Barrier()
+		t0 := time.Now()
+		for it := 0; it < 3; it++ {
+			fields, _ = k.Cycle(fields)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			elapsed = time.Since(t0)
+		}
+	})
+	return elapsed
+}

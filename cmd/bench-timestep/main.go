@@ -1,0 +1,154 @@
+// Command bench-timestep regenerates the timestep scaling studies of the
+// paper: Table 7/8 (problem configurations), Table 9 (strong scaling),
+// Table 10 (weak scaling) and Table 11 (MPI vs hybrid on Mira), using the
+// calibrated machine model, with paper values side by side and efficiency
+// columns computed exactly as the paper computes them. -live runs real
+// in-process timesteps of the full DNS at laptop scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"channeldns/internal/core"
+	"channeldns/internal/machine"
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+	"channeldns/internal/perf"
+)
+
+func main() {
+	strong := flag.Bool("strong", false, "print Table 9 (strong scaling)")
+	weak := flag.Bool("weak", false, "print Table 10 (weak scaling)")
+	hybrid := flag.Bool("hybrid", false, "print Table 11 (MPI vs hybrid)")
+	configs := flag.Bool("configs", false, "print Tables 7/8 (benchmark grids)")
+	live := flag.Bool("live", false, "run live in-process timesteps")
+	flag.Parse()
+	all := !*strong && !*weak && !*hybrid && !*configs && !*live
+
+	if *configs || all {
+		printConfigs()
+	}
+	if *strong || all {
+		printTimestep("Table 9: strong scaling of a timestep", machine.Table9(), false)
+	}
+	if *weak || all {
+		printTimestep("Table 10: weak scaling of a timestep", machine.Table10(), true)
+	}
+	if *hybrid || all {
+		printTable11()
+	}
+	if *live {
+		runLive()
+	}
+}
+
+func printConfigs() {
+	t7 := perf.Table{Title: "Table 7: strong scaling grids", Headers: []string{"system", "Nx", "Ny", "Nz", "DOF"}}
+	for _, sys := range []string{"Mira", "Lonestar", "Stampede", "BlueWaters"} {
+		nx, ny, nz := machine.Table7Grid(sys)
+		t7.AddRowf(sys, nx, ny, nz, float64(nx)*float64(ny)*float64(nz)*3)
+	}
+	t7.Write(os.Stdout)
+	fmt.Println()
+	t8 := perf.Table{Title: "Table 8: weak scaling grids (Nx varies with cores)", Headers: []string{"system", "Ny", "Nz"}}
+	for _, sys := range []string{"Mira", "Lonestar", "Stampede", "BlueWaters"} {
+		ny, nz := machine.Table8Fixed(sys)
+		t8.AddRowf(sys, ny, nz)
+	}
+	t8.Write(os.Stdout)
+	fmt.Println()
+}
+
+func printTimestep(title string, rows []machine.TimestepRow, weak bool) {
+	tbl := perf.Table{
+		Title: title + "  (model seconds / efficiency, paper seconds / efficiency)",
+		Headers: []string{"system", "mode", "cores", "T model", "F model", "N model", "tot model", "eff%",
+			"tot paper", "paper eff%"},
+	}
+	// Efficiency normalized by the first (smallest-core) row per
+	// system+mode group, time*cores for strong, time for weak.
+	type key struct {
+		sys  string
+		mode machine.Mode
+	}
+	baseM := map[key]float64{}
+	baseP := map[key]float64{}
+	baseC := map[key]int{}
+	for _, r := range rows {
+		k := key{r.System, r.Mode}
+		if _, ok := baseM[k]; !ok {
+			baseM[k] = r.Model.Total()
+			baseP[k] = r.Paper.Total()
+			baseC[k] = r.Cores
+		}
+		effM := baseM[k] / r.Model.Total()
+		effP := baseP[k] / r.Paper.Total()
+		if !weak {
+			// Strong scaling: efficiency = (T0*C0)/(T*C).
+			effM *= float64(baseC[k]) / float64(r.Cores)
+			effP *= float64(baseC[k]) / float64(r.Cores)
+		}
+		tbl.AddRowf(r.System, r.Mode.String(), r.Cores,
+			r.Model.Transpose, r.Model.FFT, r.Model.Advance, r.Model.Total(), 100*effM,
+			r.Paper.Total(), 100*effP)
+	}
+	tbl.Write(os.Stdout)
+	fmt.Println()
+}
+
+func printTable11() {
+	tbl := perf.Table{
+		Title:   "Table 11: MPI vs Hybrid on Mira (total step seconds)",
+		Headers: []string{"scaling", "cores", "MPI model", "Hybrid model", "ratio", "MPI paper", "Hybrid paper", "paper ratio"},
+	}
+	for _, r := range machine.Table11() {
+		kind := "strong"
+		if r.Weak {
+			kind = "weak"
+		}
+		if r.ModelRatio == 0 {
+			continue
+		}
+		tbl.AddRowf(kind, r.Cores, r.ModelMPI, r.ModelHybrid, r.ModelRatio,
+			r.PaperMPI, r.PaperHybrid, r.PaperRatio)
+	}
+	tbl.Write(os.Stdout)
+	fmt.Println()
+}
+
+func runLive() {
+	fmt.Println("Live in-process full RK3 timesteps (32x33x32, ReTau=180):")
+	tbl := perf.Table{Headers: []string{"ranks", "grid", "threads", "sec/step"}}
+	for _, c := range []struct{ pa, pb, th int }{{1, 1, 1}, {2, 2, 1}, {2, 2, 2}} {
+		d := liveStep(c.pa, c.pb, c.th)
+		tbl.AddRowf(c.pa*c.pb, fmt.Sprintf("%dx%d", c.pa, c.pb), c.th, d.Seconds())
+	}
+	tbl.Write(os.Stdout)
+}
+
+func liveStep(pa, pb, threads int) time.Duration {
+	var per time.Duration
+	cfg := core.Config{Nx: 32, Ny: 33, Nz: 32, ReTau: 180, Dt: 1e-3, Forcing: 1,
+		PA: pa, PB: pb, Pool: par.NewPool(threads)}
+	mpi.Run(pa*pb, func(c *mpi.Comm) {
+		s, err := core.New(c, cfg)
+		if err != nil {
+			panic(err)
+		}
+		s.SetLaminar()
+		s.Perturb(0.3, 2, 2, 1)
+		s.StepOnce() // warm the operator cache
+		c.Barrier()
+		t0 := time.Now()
+		const n = 3
+		s.Advance(n)
+		c.Barrier()
+		if c.Rank() == 0 {
+			per = time.Since(t0) / n
+		}
+	})
+	return per
+}

@@ -1,0 +1,181 @@
+// Command dns runs a turbulent channel direct numerical simulation from the
+// command line: configure the grid, Reynolds number and process layout, run
+// time steps, and emit statistics profiles (the Figure 5/6 pipeline).
+//
+// Example:
+//
+//	dns -nx 32 -ny 49 -nz 32 -retau 180 -dt 2e-3 -steps 200 -stats-every 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"channeldns/internal/core"
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+	"channeldns/internal/stats"
+)
+
+func main() {
+	var (
+		nx      = flag.Int("nx", 32, "Fourier modes in x (even)")
+		ny      = flag.Int("ny", 65, "B-spline basis size in y")
+		nz      = flag.Int("nz", 32, "Fourier modes in z (even)")
+		retau   = flag.Float64("retau", 180, "friction Reynolds number")
+		dt      = flag.Float64("dt", 5e-4, "time step")
+		steps   = flag.Int("steps", 100, "number of time steps")
+		pa      = flag.Int("pa", 1, "process grid CommA size")
+		pb      = flag.Int("pb", 1, "process grid CommB size")
+		threads = flag.Int("threads", 1, "worker threads per rank")
+		amp     = flag.Float64("perturb", 0.3, "initial perturbation amplitude")
+		seed    = flag.Int64("seed", 1, "perturbation seed")
+		every   = flag.Int("stats-every", 10, "accumulate statistics every N steps (0 = off)")
+		out     = flag.String("out", "", "write final averaged profiles to this file")
+		ckpt    = flag.String("checkpoint", "", "write a restart file at the end (single rank only)")
+		restore = flag.String("restore", "", "restore from a restart file before stepping")
+		form    = flag.String("form", "divergence", "nonlinear form: divergence | convective | skew")
+		budget  = flag.Bool("budget", false, "print the TKE budget at the end")
+		spectra = flag.Bool("spectra", false, "print 1-D energy spectra at selected heights")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Nx: *nx, Ny: *ny, Nz: *nz,
+		ReTau: *retau, Dt: *dt, Forcing: 1,
+		PA: *pa, PB: *pb, Pool: par.NewPool(*threads),
+	}
+	switch *form {
+	case "divergence":
+	case "convective":
+		cfg.Nonlinear = core.FormConvective
+	case "skew":
+		cfg.Nonlinear = core.FormSkewSymmetric
+	default:
+		log.Fatalf("unknown -form %q", *form)
+	}
+
+	var finalErr error
+	mpi.Run(*pa**pb, func(c *mpi.Comm) {
+		s, err := core.New(c, cfg)
+		if err != nil {
+			if c.Rank() == 0 {
+				finalErr = err
+			}
+			return
+		}
+		if *restore != "" {
+			f, err := os.Open(*restore)
+			if err == nil {
+				err = s.LoadCheckpoint(f)
+				f.Close()
+			}
+			if err != nil {
+				finalErr = fmt.Errorf("restore: %w", err)
+				return
+			}
+		} else {
+			s.SetLaminar()
+			s.Perturb(*amp, 2, 2, *seed)
+		}
+
+		acc := &stats.Accumulator{}
+		report := func() {
+			// All quantities are collectives: every rank must call them.
+			e := s.TotalEnergy()
+			ut := s.FrictionVelocity()
+			ub := s.BulkVelocity()
+			bc := s.BCResidual()
+			if c.Rank() == 0 {
+				fmt.Printf("step %6d  t=%8.4f  E=%10.6f  u_tau=%6.4f  Ub=%8.4f  BCres=%.2e\n",
+					s.Step, s.Time, e, ut, ub, bc)
+			}
+		}
+		report()
+		for i := 1; i <= *steps; i++ {
+			s.AdvanceAdaptive(1, 0.8, 5)
+			if *every > 0 && i%*every == 0 {
+				acc.Add(stats.Snapshot(s))
+				report()
+			}
+		}
+		if acc.Count() == 0 {
+			acc.Add(stats.Snapshot(s))
+		}
+		var bud stats.Budget
+		if *budget {
+			bud = stats.TKEBudget(s)
+		}
+		var spx, spz stats.Spectra1D
+		if *spectra {
+			stations := []int{*ny / 8, *ny / 4, *ny / 2}
+			spx = stats.SpectraX(s, stations)
+			spz = stats.SpectraZ(s, stations)
+		}
+		if c.Rank() == 0 {
+			p := acc.Mean()
+			fmt.Printf("\nAveraged profiles over %d snapshots:\n", acc.Count())
+			if err := p.Write(os.Stdout); err != nil {
+				finalErr = err
+				return
+			}
+			yp, up, uTau := p.WallUnits(s.Nu())
+			fmt.Printf("\nu_tau = %.4f\n", uTau)
+			if k, b, ok := stats.LogLawFit(yp, up, 30, 0.3**retau); ok {
+				fmt.Printf("log-law fit over 30 < y+ < %.0f: kappa = %.3f, B = %.2f\n", 0.3**retau, k, b)
+			}
+			if *budget {
+				fmt.Println("\nTKE budget (spectrally exact terms):")
+				if err := bud.Write(os.Stdout); err != nil {
+					finalErr = err
+					return
+				}
+			}
+			if *spectra {
+				fmt.Println("\nstreamwise spectra E_uu(kx) at y stations:")
+				for si, yi := range spx.YIndex {
+					fmt.Printf("y=%.3f:", s.CollocationPoints()[yi])
+					for b := range spx.Euu[si] {
+						fmt.Printf(" %.3e", spx.Euu[si][b])
+					}
+					fmt.Println()
+				}
+				fmt.Println("spanwise spectra E_uu(kz) at y stations:")
+				for si, yi := range spz.YIndex {
+					fmt.Printf("y=%.3f:", s.CollocationPoints()[yi])
+					for b := range spz.Euu[si] {
+						fmt.Printf(" %.3e", spz.Euu[si][b])
+					}
+					fmt.Println()
+				}
+			}
+			if *out != "" {
+				f, err := os.Create(*out)
+				if err != nil {
+					finalErr = err
+					return
+				}
+				defer f.Close()
+				if err := p.Write(f); err != nil {
+					finalErr = err
+				}
+			}
+		}
+		if *ckpt != "" && c.Size() == 1 {
+			f, err := os.Create(*ckpt)
+			if err != nil {
+				finalErr = err
+				return
+			}
+			defer f.Close()
+			if err := s.SaveCheckpoint(f); err != nil {
+				finalErr = err
+			}
+		}
+	})
+	if finalErr != nil {
+		log.Fatal(finalErr)
+	}
+}

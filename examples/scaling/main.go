@@ -1,0 +1,56 @@
+// Scaling: drive the machine performance model from the public API to plan
+// a (hypothetical) production campaign: pick a platform and grid, sweep the
+// core count, and inspect where the transpose, FFT and time-advance budgets
+// go — the analysis behind the paper's Tables 9-11.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"channeldns/internal/machine"
+	"channeldns/internal/perf"
+)
+
+func main() {
+	// The paper's production configuration: the ReTau = 5200 run uses
+	// 10240 x 1536 x 7680 modes on 32 racks of Mira.
+	nx, ny, nz := 10240, 1536, 7680
+	m := machine.Mira
+
+	fmt.Printf("Planning the ReTau=5200 production run (%d x %d x %d, %.0fG DOF) on %s\n\n",
+		nx, ny, nz, 3*float64(nx)*float64(ny)*float64(nz)/1e9, m.Name)
+
+	tbl := perf.Table{
+		Title:   "Projected cost per RK3 step (hybrid mode)",
+		Headers: []string{"cores", "transpose", "FFT", "N-S advance", "total", "core-hours/step"},
+	}
+	for _, cores := range []int{131072, 262144, 524288, 786432} {
+		b := machine.TimestepTime(m, machine.ModeHybrid, nx, ny, nz, cores)
+		tbl.AddRowf(cores, b.Transpose, b.FFT, b.Advance, b.Total(),
+			b.Total()*float64(cores)/3600)
+	}
+	if err := tbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The paper's run: 650,000 steps at 524,288 cores.
+	b := machine.TimestepTime(m, machine.ModeHybrid, nx, ny, nz, 524288)
+	total := b.Total() * 650000 * 524288 / 3600
+	fmt.Printf("\nfull campaign at 524288 cores: %.0f million core-hours (paper: ~260M)\n", total/1e6)
+
+	// Mode choice at the production scale.
+	mpi := machine.TimestepTime(m, machine.ModeMPI, nx, ny, nz, 524288)
+	fmt.Printf("MPI-per-core would cost %.1fs/step vs hybrid %.1fs/step (ratio %.2f)\n",
+		mpi.Total(), b.Total(), mpi.Total()/b.Total())
+
+	// The paper's §5.3 flop accounting on the strong-scaling benchmark.
+	sx, sy, sz := machine.Table7Grid("Mira")
+	rep := machine.AggregateFlops(m, machine.ModeMPI, sx, sy, sz, 786432)
+	fmt.Printf("\n48-rack benchmark: sustained %.0f TFlops (%.1f%% of peak; paper 271, 2.7%%),\n"+
+		"on-node %.0f TFlops (%.1f%% of peak; paper ~906, 9.0%%)\n",
+		rep.Sustained/1e12, 100*rep.SustainedFrac, rep.OnNode/1e12, 100*rep.OnNodeFrac)
+}

@@ -1,0 +1,3 @@
+module channeldns
+
+go 1.22

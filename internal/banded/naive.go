@@ -1,0 +1,105 @@
+package banded
+
+import "math/cmplx"
+
+// Naive is a deliberately straightforward complex banded solver standing in
+// for Netlib reference LAPACK (ZGBTRF/ZGBTRS) as the normalization baseline
+// of Table 1. It uses the full general band storage (center panel of the
+// paper's Fig. 3) addressed through an index function on every element
+// access, performs partial pivoting, and makes no attempt at cache blocking
+// or unrolling — the characteristics of unoptimized reference code.
+type Naive struct {
+	n, kl, ku int
+	a         [][]complex128 // a[i][d], d = j-i+kl, full fill width
+	ipiv      []int
+	factored  bool
+}
+
+// NewNaive allocates an n x n reference banded matrix.
+func NewNaive(n, kl, ku int) *Naive {
+	a := make([][]complex128, n)
+	w := 2*kl + ku + 1
+	for i := range a {
+		a[i] = make([]complex128, w)
+	}
+	return &Naive{n: n, kl: kl, ku: ku, a: a, ipiv: make([]int, n)}
+}
+
+func (m *Naive) get(i, j int) complex128 {
+	d := j - i + m.kl
+	if d < 0 || d >= 2*m.kl+m.ku+1 {
+		return 0
+	}
+	return m.a[i][d]
+}
+
+func (m *Naive) put(i, j int, v complex128) {
+	m.a[i][j-i+m.kl] = v
+}
+
+// Set assigns A(i, j) = v within [i-kl, i+ku].
+func (m *Naive) Set(i, j int, v complex128) {
+	if d := j - i; d < -m.kl || d > m.ku {
+		panic("banded: naive Set outside band")
+	}
+	m.put(i, j, v)
+	m.factored = false
+}
+
+// Factor performs textbook pivoted band LU, one element at a time.
+func (m *Naive) Factor() error {
+	n, kl := m.n, m.kl
+	kv := m.ku + kl
+	for k := 0; k < n; k++ {
+		p := k
+		for i := k + 1; i <= min(k+kl, n-1); i++ {
+			if cmplx.Abs(m.get(i, k)) > cmplx.Abs(m.get(p, k)) {
+				p = i
+			}
+		}
+		m.ipiv[k] = p
+		if m.get(p, k) == 0 {
+			return ErrSingular
+		}
+		if p != k {
+			for j := k; j <= min(k+kv, n-1); j++ {
+				t := m.get(k, j)
+				m.put(k, j, m.get(p, j))
+				m.put(p, j, t)
+			}
+		}
+		for i := k + 1; i <= min(k+kl, n-1); i++ {
+			l := m.get(i, k) / m.get(k, k)
+			m.put(i, k, l)
+			for j := k + 1; j <= min(k+kv, n-1); j++ {
+				m.put(i, j, m.get(i, j)-l*m.get(k, j))
+			}
+		}
+	}
+	m.factored = true
+	return nil
+}
+
+// Solve overwrites b with the solution of A*x = b.
+func (m *Naive) Solve(b []complex128) {
+	if !m.factored {
+		panic("banded: naive Solve before Factor")
+	}
+	n, kl := m.n, m.kl
+	kv := m.ku + kl
+	for k := 0; k < n; k++ {
+		if p := m.ipiv[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+		for i := k + 1; i <= min(k+kl, n-1); i++ {
+			b[i] -= m.get(i, k) * b[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j <= min(i+kv, n-1); j++ {
+			s -= m.get(i, j) * b[j]
+		}
+		b[i] = s / m.get(i, i)
+	}
+}

@@ -1,0 +1,60 @@
+package bspline
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHighDerivativesExactOnPolynomials: the 3rd and 4th derivative rows of
+// EvalDerivs must be exact on polynomials within the spline space (the
+// Orr-Sommerfeld validation builds its biharmonic operator from them).
+func TestHighDerivativesExactOnPolynomials(t *testing.T) {
+	b := NewFromBreakpoints(7, ChannelBreakpoints(12, 0.9))
+	grev := b.Greville()
+	for pdeg := 4; pdeg <= 7; pdeg++ {
+		vals := make([]float64, len(grev))
+		for i, y := range grev {
+			vals[i] = math.Pow(y, float64(pdeg))
+		}
+		coef := b.Interpolate(vals)
+		ders := make([][]float64, 5)
+		for i := range ders {
+			ders[i] = make([]float64, 8)
+		}
+		for _, u := range []float64{-0.9, -0.3, 0.2, 0.77} {
+			span := b.EvalDerivs(u, 4, ders)
+			got3, got4 := 0.0, 0.0
+			for j := 0; j <= 7; j++ {
+				got3 += coef[span-7+j] * ders[3][j]
+				got4 += coef[span-7+j] * ders[4][j]
+			}
+			c3 := float64(pdeg * (pdeg - 1) * (pdeg - 2))
+			want3 := c3 * math.Pow(u, float64(pdeg-3))
+			want4 := c3 * float64(pdeg-3) * math.Pow(u, float64(pdeg-4))
+			if math.Abs(got3-want3) > 1e-6*(1+math.Abs(want3)) {
+				t.Errorf("deg %d u=%g: 3rd deriv %g want %g", pdeg, u, got3, want3)
+			}
+			if math.Abs(got4-want4) > 1e-6*(1+math.Abs(want4)) {
+				t.Errorf("deg %d u=%g: 4th deriv %g want %g", pdeg, u, got4, want4)
+			}
+		}
+	}
+}
+
+// TestDerivOrderAbovePolynomialDegree: derivatives of order > degree are
+// identically zero (the EvalDerivs zero-fill path).
+func TestDerivOrderAbovePolynomialDegree(t *testing.T) {
+	b := NewUniform(3, 10, -1, 1)
+	ders := make([][]float64, 6)
+	for i := range ders {
+		ders[i] = make([]float64, 4)
+	}
+	b.EvalDerivs(0.3, 5, ders)
+	for k := 4; k <= 5; k++ {
+		for j := 0; j < 4; j++ {
+			if ders[k][j] != 0 {
+				t.Errorf("order-%d derivative entry %d = %g, want 0", k, j, ders[k][j])
+			}
+		}
+	}
+}

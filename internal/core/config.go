@@ -1,0 +1,98 @@
+// Package core implements the channel DNS itself: the Kim-Moin-Moser
+// wall-normal velocity/vorticity formulation (paper §2.1) discretized with
+// Fourier-Galerkin in x and z and B-spline collocation in y, advanced in
+// time with the low-storage IMEX Runge-Kutta scheme of Spalart, Moser &
+// Rogers (1991), with 3/2-rule dealiased nonlinear terms evaluated through
+// the full transpose pipeline of paper §2.3.
+//
+// Nondimensionalization: lengths by the channel half-width (y in [-1, 1]),
+// velocities by the friction velocity u_tau, so nu = 1/Re_tau and the
+// driving mean pressure gradient is -dP/dx = 1.
+package core
+
+import (
+	"fmt"
+
+	"channeldns/internal/par"
+)
+
+// Config selects the resolution, physics and parallel layout of a Solver.
+type Config struct {
+	// Spectral resolution: Nx, Nz full Fourier modes (even), Ny B-spline
+	// basis functions (= wall-normal collocation points).
+	Nx, Ny, Nz int
+	// Domain lengths of the periodic directions (half-width units).
+	Lx, Lz float64
+	// Friction Reynolds number; nu = 1/ReTau.
+	ReTau float64
+	// Time step.
+	Dt float64
+	// B-spline degree; 0 selects the paper's degree 7.
+	Degree int
+	// Wall-normal grid stretching in [0, 1]; 0 selects 0.85.
+	Stretch float64
+	// Process grid: PA x PB must equal the world size. Zero values select
+	// 1 x 1.
+	PA, PB int
+	// Worker pool for on-node parallel regions (nil = serial).
+	Pool *par.Pool
+	// DisableNonlinear freezes the convective terms (for linear and
+	// validation runs).
+	DisableNonlinear bool
+	// Forcing is the imposed mean pressure gradient -dP/dx. For turbulent
+	// channel runs this is 1 in wall units. NaN is invalid; zero disables.
+	Forcing float64
+	// Nonlinear selects the discrete convective-term form: the paper's
+	// divergence form (default), the convective form, or their
+	// skew-symmetric average (see convective.go).
+	Nonlinear Form
+	// UseGeneralSolver replaces the customized compact banded solver in the
+	// time advance with the general pivoted banded solver (complex right-
+	// hand sides via two sequential real solves) — the configuration the
+	// paper's Table 1 baseline corresponds to. An ablation knob; results
+	// agree to rounding.
+	UseGeneralSolver bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Degree == 0 {
+		c.Degree = 7
+	}
+	if c.Stretch == 0 {
+		c.Stretch = 0.85
+	}
+	if c.PA == 0 {
+		c.PA = 1
+	}
+	if c.PB == 0 {
+		c.PB = 1
+	}
+	if c.Lx == 0 {
+		c.Lx = 2 * 3.141592653589793
+	}
+	if c.Lz == 0 {
+		c.Lz = 3.141592653589793
+	}
+}
+
+func (c *Config) validate() error {
+	if c.ReTau <= 0 {
+		return fmt.Errorf("core: ReTau must be positive, got %g", c.ReTau)
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("core: Dt must be positive, got %g", c.Dt)
+	}
+	if c.Ny < c.Degree+2 {
+		return fmt.Errorf("core: Ny=%d too small for degree %d", c.Ny, c.Degree)
+	}
+	return nil
+}
+
+// SMR'91 low-storage IMEX RK3 coefficients (paper §2.1 reference [23]).
+// Explicit (convective): gamma, zeta; implicit (viscous): alpha = beta.
+var (
+	rkGamma = [3]float64{8.0 / 15.0, 5.0 / 12.0, 3.0 / 4.0}
+	rkZeta  = [3]float64{0, -17.0 / 60.0, -5.0 / 12.0}
+	rkAlpha = [3]float64{4.0 / 15.0, 1.0 / 15.0, 1.0 / 6.0}
+	rkBeta  = [3]float64{4.0 / 15.0, 1.0 / 15.0, 1.0 / 6.0}
+)

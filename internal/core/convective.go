@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Alternative nonlinear-term forms. The paper evaluates the convective
+// terms in divergence form, N_i = -d(u_i u_j)/dx_j (steps (g)-(h) of §2.3).
+// This file adds the convective form N_i = -u_j du_i/dx_j and the
+// skew-symmetric average of the two. Analytically all three are identical
+// for divergence-free fields; discretely they differ through the wall-
+// normal collocation (pointwise products alias in y), and the
+// skew-symmetric form conserves energy much more faithfully at marginal
+// resolution — the standard remedy in spectral DNS practice. The form is an
+// ablation axis in DESIGN.md §7.
+
+// Form selects the discrete form of the convective terms.
+type Form int
+
+// Convective-term forms.
+const (
+	// FormDivergence is the paper's form: -d(u_i u_j)/dx_j via six
+	// quadratic products.
+	FormDivergence Form = iota
+	// FormConvective is -u_j du_i/dx_j via nine velocity-gradient fields.
+	FormConvective
+	// FormSkewSymmetric averages the two, conserving energy discretely.
+	FormSkewSymmetric
+)
+
+// velocityAndGradValues evaluates {u, v, w, du/dy, dv/dy, dw/dy} at the
+// collocation points for every locally owned mode, y-pencil layout.
+func (s *Solver) velocityAndGradValues() [][]complex128 {
+	ny := s.Cfg.Ny
+	out := make([][]complex128, 6)
+	for f := range out {
+		out[f] = make([]complex128, s.nw*ny)
+	}
+	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
+		vy := make([]complex128, ny)
+		vyy := make([]complex128, ny)
+		om := make([]complex128, ny)
+		omy := make([]complex128, ny)
+		vv := make([]complex128, ny)
+		for w := wlo; w < whi; w++ {
+			ikx, ikz := s.modeOf(w)
+			base := w * ny
+			if s.G.IsNyquistZ(ikz) {
+				continue
+			}
+			if ikx == 0 && ikz == 0 {
+				if s.ownsMean {
+					uv := make([]float64, ny)
+					wv := make([]float64, ny)
+					uyv := make([]float64, ny)
+					wyv := make([]float64, ny)
+					s.b0.MulVec(uv, s.meanU)
+					s.b0.MulVec(wv, s.meanW)
+					s.b1.MulVec(uyv, s.meanU)
+					s.b1.MulVec(wyv, s.meanW)
+					for i := 0; i < ny; i++ {
+						out[0][base+i] = complex(uv[i], 0)
+						out[2][base+i] = complex(wv[i], 0)
+						out[3][base+i] = complex(uyv[i], 0)
+						out[5][base+i] = complex(wyv[i], 0)
+					}
+				}
+				continue
+			}
+			kx, kz := s.G.Kx(ikx), s.G.Kz(ikz)
+			k2 := kx*kx + kz*kz
+			s.b1.MulVecComplex(vy, s.cv[w])
+			s.b2.MulVecComplex(vyy, s.cv[w])
+			s.b0.MulVecComplex(om, s.cw[w])
+			s.b1.MulVecComplex(omy, s.cw[w])
+			s.b0.MulVecComplex(vv, s.cv[w])
+			ikxC := complex(0, kx/k2)
+			ikzC := complex(0, kz/k2)
+			for i := 0; i < ny; i++ {
+				out[0][base+i] = ikxC*vy[i] - ikzC*om[i]
+				out[1][base+i] = vv[i]
+				out[2][base+i] = ikzC*vy[i] + ikxC*om[i]
+				out[3][base+i] = ikxC*vyy[i] - ikzC*omy[i]
+				out[4][base+i] = vy[i]
+				out[5][base+i] = ikzC*vyy[i] + ikxC*omy[i]
+			}
+		}
+	})
+	return out
+}
+
+// convectiveH computes H_i = -u_j du_i/dx_j as collocation values per local
+// mode, returning three y-pencil fields {H_x, H_y, H_z}.
+func (s *Solver) convectiveH() [][]complex128 {
+	d := s.D
+	g := s.G
+	nz, mz := g.Nz, g.MZ()
+	nkx, mx := g.NKx(), g.MX()
+
+	// Six fields to z-pencils: u, v, w and their y derivatives.
+	vel := s.velocityAndGradValues()
+	zp := d.YtoZ(nil, vel)
+
+	kxloc := s.kxhi - s.kxlo
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	linesZ := kxloc * nyLoc
+
+	// Pad + inverse in z for all six, plus the three z derivatives of
+	// u, v, w built by multiplying the spectral lines by i*kz.
+	zphys := make([][]complex128, 9)
+	for f := 0; f < 9; f++ {
+		zphys[f] = make([]complex128, linesZ*mz)
+	}
+	kzMul := make([]complex128, nz)
+	for j := 0; j < nz; j++ {
+		kzMul[j] = complex(0, g.Kz(j))
+	}
+	for f := 0; f < 6; f++ {
+		src, dst := zp[f], zphys[f]
+		s.pool().ForBlocks(linesZ, func(lo, hi int) {
+			scratch := make([]complex128, mz)
+			dline := make([]complex128, nz)
+			for l := lo; l < hi; l++ {
+				line := src[l*nz : (l+1)*nz]
+				s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], line, scratch)
+				if f < 3 {
+					// z derivative of u, v, w -> slots 6, 7, 8.
+					for j := 0; j < nz; j++ {
+						dline[j] = kzMul[j] * line[j]
+					}
+					s.padZ.InversePaddedScratch(zphys[6+f][l*mz:(l+1)*mz], dline, scratch)
+				}
+			}
+		})
+	}
+
+	// Nine fields to x-pencils.
+	xp := d.ZtoX(nil, zphys, mz)
+
+	// One threaded block: inverse x transforms (twelve per line, three of
+	// them the i*kx derivatives of u, v, w), the convective products, and
+	// the forward transform of H_x, H_y, H_z.
+	zxl, zxh := d.ZRangeX(mz)
+	nzLoc := zxh - zxl
+	linesX := nyLoc * nzLoc
+	hX := make([][]complex128, 3)
+	for f := range hX {
+		hX[f] = make([]complex128, linesX*nkx)
+	}
+	yl0, _ := d.YRange()
+	locMaxU := make([]float64, s.Cfg.Ny)
+	locMaxV := make([]float64, s.Cfg.Ny)
+	locMaxW := make([]float64, s.Cfg.Ny)
+	var maxMu sync.Mutex
+	s.pool().ForBlocks(linesX, func(lo, hi int) {
+		phys := make([][]float64, 12) // u v w uy vy wy uz vz wz ux vx wx
+		for i := range phys {
+			phys[i] = make([]float64, mx)
+		}
+		hp := make([]float64, mx)
+		scratch := make([]complex128, mx/2+1)
+		dline := make([]complex128, nkx)
+		blkU := make([]float64, s.Cfg.Ny)
+		blkV := make([]float64, s.Cfg.Ny)
+		blkW := make([]float64, s.Cfg.Ny)
+		for l := lo; l < hi; l++ {
+			for f := 0; f < 9; f++ {
+				s.padX.InversePaddedScratch(phys[f], xp[f][l*nkx:(l+1)*nkx], scratch)
+			}
+			for f := 0; f < 3; f++ { // x derivatives of u, v, w
+				line := xp[f][l*nkx : (l+1)*nkx]
+				for k := 0; k < nkx; k++ {
+					dline[k] = complex(0, s.G.Kx(k)) * line[k]
+				}
+				s.padX.InversePaddedScratch(phys[9+f], dline, scratch)
+			}
+			yg := yl0 + l/nzLoc
+			for i := 0; i < mx; i++ {
+				blkU[yg] = math.Max(blkU[yg], math.Abs(phys[0][i]))
+				blkV[yg] = math.Max(blkV[yg], math.Abs(phys[1][i]))
+				blkW[yg] = math.Max(blkW[yg], math.Abs(phys[2][i]))
+			}
+			// H_i = -(u*d_i/dx + v*d_i/dy + w*d_i/dz).
+			for c := 0; c < 3; c++ {
+				dx, dy, dz := phys[9+c], phys[3+c], phys[6+c]
+				for i := 0; i < mx; i++ {
+					hp[i] = -(phys[0][i]*dx[i] + phys[1][i]*dy[i] + phys[2][i]*dz[i])
+				}
+				s.padX.ForwardTruncatedScratch(hX[c][l*nkx:(l+1)*nkx], hp, scratch)
+			}
+		}
+		maxMu.Lock()
+		for y := range locMaxU {
+			locMaxU[y] = math.Max(locMaxU[y], blkU[y])
+			locMaxV[y] = math.Max(locMaxV[y], blkV[y])
+			locMaxW[y] = math.Max(locMaxW[y], blkW[y])
+		}
+		maxMu.Unlock()
+	})
+	s.physMaxMu.Lock()
+	s.physMaxU, s.physMaxV, s.physMaxW = locMaxU, locMaxV, locMaxW
+	s.physMaxCurrent = true
+	s.physMaxMu.Unlock()
+
+	// Reverse path for the three H fields.
+	zp2 := d.XtoZ(nil, hX, mz)
+	zspec := make([][]complex128, 3)
+	for f := range zspec {
+		zspec[f] = make([]complex128, linesZ*nz)
+		src, dst := zp2[f], zspec[f]
+		s.pool().ForBlocks(linesZ, func(lo, hi int) {
+			scratch := make([]complex128, mz)
+			for l := lo; l < hi; l++ {
+				s.padZ.ForwardTruncatedScratch(dst[l*nz:(l+1)*nz], src[l*mz:(l+1)*mz], scratch)
+			}
+		})
+	}
+	return d.ZtoY(nil, zspec)
+}
+
+// convectiveTerms assembles h_g and h_v from convective-form H values:
+//
+//	h_g = i*kz*H_x - i*kx*H_z
+//	h_v = -k2*H_y - d/dy(i*kx*H_x + i*kz*H_z)
+//
+// plus the mean forcing profiles (H_x and H_z at kx = kz = 0 directly).
+func (s *Solver) convectiveTerms() (hg, hv [][]complex128, meanHx, meanHz []float64) {
+	ny := s.Cfg.Ny
+	hg = allocCoef(s.nw, ny)
+	hv = allocCoef(s.nw, ny)
+	if s.ownsMean {
+		meanHx = make([]float64, ny)
+		meanHz = make([]float64, ny)
+	}
+	h := s.convectiveH()
+	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
+		p := make([]complex128, ny)
+		tmp := make([]complex128, ny)
+		for w := wlo; w < whi; w++ {
+			ikx, ikz := s.modeOf(w)
+			if s.G.IsNyquistZ(ikz) || (ikx == 0 && ikz == 0) {
+				continue
+			}
+			kx, kz := s.G.Kx(ikx), s.G.Kz(ikz)
+			k2 := kx*kx + kz*kz
+			base := w * ny
+			ikxC := complex(0, kx)
+			ikzC := complex(0, kz)
+			hgw, hvw := hg[w], hv[w]
+			for i := 0; i < ny; i++ {
+				hgw[i] = ikzC*h[0][base+i] - ikxC*h[2][base+i]
+				p[i] = ikxC*h[0][base+i] + ikzC*h[2][base+i]
+			}
+			cp := append([]complex128(nil), p...)
+			s.b0fac.SolveComplex(cp)
+			s.b1.MulVecComplex(tmp, cp)
+			ck2 := complex(k2, 0)
+			for i := 0; i < ny; i++ {
+				hvw[i] = -ck2*h[1][base+i] - tmp[i]
+			}
+		}
+	})
+	if s.ownsMean {
+		w00 := s.widx(0, 0)
+		base := w00 * ny
+		for i := 0; i < ny; i++ {
+			meanHx[i] = real(h[0][base+i])
+			meanHz[i] = real(h[2][base+i])
+		}
+	}
+	return hg, hv, meanHx, meanHz
+}

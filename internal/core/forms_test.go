@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+)
+
+// TestFormsAgreeWhenResolved: for a smooth low-mode divergence-free field
+// at generous resolution, the divergence and convective forms of h_g/h_v
+// must agree to interpolation accuracy (they are analytically identical).
+func TestFormsAgreeWhenResolved(t *testing.T) {
+	cfg := Config{Nx: 16, Ny: 48, Nz: 16, ReTau: 100, Dt: 1e-3, Forcing: 1}
+	s := serialSolver(t, cfg)
+	s.SetLaminar()
+	s.Perturb(0.4, 2, 2, 9)
+
+	hgD, hvD, mxD, _ := s.divergenceTerms()
+	hgC, hvC, mxC, _ := s.convectiveTerms()
+	maxHg, maxHv, scale := 0.0, 0.0, 0.0
+	for w := 0; w < s.nw; w++ {
+		ikx, ikz := s.modeOf(w)
+		if s.G.IsNyquistZ(ikz) || (ikx == 0 && ikz == 0) {
+			continue
+		}
+		for i := range hgD[w] {
+			if d := cmplx.Abs(hgD[w][i] - hgC[w][i]); d > maxHg {
+				maxHg = d
+			}
+			if d := cmplx.Abs(hvD[w][i] - hvC[w][i]); d > maxHv {
+				maxHv = d
+			}
+			if a := cmplx.Abs(hvD[w][i]); a > scale {
+				scale = a
+			}
+		}
+	}
+	if maxHg > 1e-5*scale {
+		t.Errorf("h_g forms differ by %g (scale %g)", maxHg, scale)
+	}
+	if maxHv > 1e-4*scale {
+		t.Errorf("h_v forms differ by %g (scale %g)", maxHv, scale)
+	}
+	// Mean forcing: -<v du/dy> vs -d<uv>/dy agree by parts.
+	for i := range mxD {
+		if math.Abs(mxD[i]-mxC[i]) > 1e-6*(1+math.Abs(mxD[i])) {
+			t.Errorf("mean H_x forms differ at %d: %g vs %g", i, mxD[i], mxC[i])
+		}
+	}
+}
+
+// TestSkewFormEnergyConservation: at numerically zero viscosity the
+// skew-symmetric form must conserve energy at least as well as the
+// divergence form.
+func TestSkewFormEnergyConservation(t *testing.T) {
+	run := func(form Form) float64 {
+		cfg := Config{Nx: 16, Ny: 24, Nz: 16, ReTau: 1e10, Dt: 2e-4,
+			Forcing: 0, Nonlinear: form}
+		s := serialSolver(t, cfg)
+		s.Perturb(0.2, 2, 2, 11)
+		e0 := s.TotalEnergy()
+		s.Advance(20)
+		return math.Abs(s.TotalEnergy()-e0) / e0
+	}
+	dDiv := run(FormDivergence)
+	dSkew := run(FormSkewSymmetric)
+	if dSkew > 2e-3 {
+		t.Errorf("skew-symmetric drift %g too large", dSkew)
+	}
+	if dSkew > 5*dDiv+1e-12 {
+		t.Errorf("skew drift %g should not be much worse than divergence %g", dSkew, dDiv)
+	}
+}
+
+// TestConvectiveFormSerialMatchesParallel: the gradient pipeline must be
+// decomposition-independent like the product pipeline.
+func TestConvectiveFormSerialMatchesParallel(t *testing.T) {
+	cfg := Config{Nx: 16, Ny: 16, Nz: 16, ReTau: 180, Dt: 1e-3, Forcing: 1,
+		Nonlinear: FormConvective}
+	steps := 3
+	ref := map[[2]int][]complex128{}
+	mpi.Run(1, func(c *mpi.Comm) {
+		s, err := New(c, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.SetLaminar()
+		s.Perturb(0.3, 2, 2, 77)
+		s.Advance(steps)
+		for w := 0; w < s.nw; w++ {
+			ikx, ikz := s.modeOf(w)
+			ref[[2]int{ikx, ikz}] = append([]complex128(nil), s.cv[w]...)
+		}
+	})
+	pcfg := cfg
+	pcfg.PA, pcfg.PB = 2, 2
+	pcfg.Pool = par.NewPool(2)
+	mpi.Run(4, func(c *mpi.Comm) {
+		s, err := New(c, pcfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.SetLaminar()
+		s.Perturb(0.3, 2, 2, 77)
+		s.Advance(steps)
+		for w := 0; w < s.nw; w++ {
+			ikx, ikz := s.modeOf(w)
+			want := ref[[2]int{ikx, ikz}]
+			for i := range want {
+				if cmplx.Abs(s.cv[w][i]-want[i]) > 1e-12 {
+					t.Errorf("mode (%d,%d) coef %d differs", ikx, ikz, i)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestSkewFormSurvivesMarginalResolution: the regression behind the form
+// option — at the marginal Ny where the divergence form blows up through
+// wall-normal aliasing during transition, the skew-symmetric form must
+// keep the energy budget bounded. Long; skipped with -short.
+func TestSkewFormSurvivesMarginalResolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transition run is slow")
+	}
+	cfg := Config{Nx: 32, Ny: 49, Nz: 32, ReTau: 180, Dt: 4e-4, Forcing: 1,
+		Nonlinear: FormSkewSymmetric, Pool: par.NewPool(4)}
+	mpi.Run(1, func(c *mpi.Comm) {
+		s, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetLaminar()
+		s.Perturb(0.8, 3, 3, 2024)
+		e0 := s.TotalEnergy()
+		for b := 0; b < 6; b++ {
+			s.AdvanceAdaptive(50, 0.8, 5)
+			e := s.TotalEnergy()
+			if math.IsNaN(e) || e > 3*e0 {
+				t.Fatalf("skew form blew up at t=%g: E=%g", s.Time, e)
+			}
+		}
+	})
+}
+
+// TestGeneralSolverAblationMatches: the general pivoted banded solver and
+// the customized compact solver must produce identical trajectories.
+func TestGeneralSolverAblationMatches(t *testing.T) {
+	base := Config{Nx: 8, Ny: 20, Nz: 8, ReTau: 180, Dt: 1e-3, Forcing: 1}
+	run := func(cfg Config) [][]complex128 {
+		s := serialSolver(t, cfg)
+		s.SetLaminar()
+		s.Perturb(0.3, 2, 2, 5)
+		s.Advance(5)
+		out := make([][]complex128, s.nw)
+		for w := range out {
+			out[w] = append([]complex128(nil), s.cv[w]...)
+		}
+		return out
+	}
+	a := run(base)
+	gcfg := base
+	gcfg.UseGeneralSolver = true
+	b := run(gcfg)
+	for w := range a {
+		for i := range a[w] {
+			if cmplx.Abs(a[w][i]-b[w][i]) > 1e-9 {
+				t.Fatalf("solver backends disagree at mode %d coef %d: %g",
+					w, i, cmplx.Abs(a[w][i]-b[w][i]))
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+// Nonlinear term evaluation, paper §2.3 steps (a)-(h): the three velocity
+// components are transposed y->z, zero-padded to the 3/2 quadrature grid
+// and inverse transformed in z, transposed z->x, padded and inverse
+// transformed in x; the quadratic products are formed pointwise on the
+// physical grid; the products then retrace the path with forward transforms
+// and truncation. Products and transforms in x share one threaded block so
+// lines stay in cache across the three operations, as in the paper.
+//
+// The paper forms five product fields; we carry the six independent
+// components of u_i*u_j (uu, uv, uw, vv, vw, ww) for a direct assembly of
+// the divergence-form right-hand sides — see DESIGN.md for the accounting
+// difference, which the machine model (not this code) normalizes back to
+// the paper's five.
+
+import (
+	"math"
+	"sync"
+)
+
+const (
+	pUU = iota
+	pUV
+	pUW
+	pVV
+	pVW
+	pWW
+	nProducts
+)
+
+// products computes the six dealiased quadratic products as y-pencil
+// collocation values, layout [kxLoc][kzLoc][Ny] per product.
+func (s *Solver) products() [][]complex128 {
+	d := s.D
+	g := s.G
+	nz, mz := g.Nz, g.MZ()
+	nkx, mx := g.NKx(), g.MX()
+
+	// (a) y-pencils -> z-pencils for u, v, w.
+	vel := s.velocityValues()
+	zp := d.YtoZ(nil, vel)
+
+	// (b)+(c) pad in z and inverse transform, line by line.
+	kxloc := s.kxhi - s.kxlo
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	linesZ := kxloc * nyLoc
+	zphys := make([][]complex128, 3)
+	for f := 0; f < 3; f++ {
+		zphys[f] = make([]complex128, linesZ*mz)
+		src, dst := zp[f], zphys[f]
+		s.pool().ForBlocks(linesZ, func(lo, hi int) {
+			scratch := make([]complex128, mz)
+			for l := lo; l < hi; l++ {
+				s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], src[l*nz:(l+1)*nz], scratch)
+			}
+		})
+	}
+
+	// (d) z-pencils -> x-pencils.
+	xp := d.ZtoX(nil, zphys, mz)
+
+	// (e)+(f)+(g)+(h-start): one threaded block spans the inverse x
+	// transform, the pointwise products, and the forward x transform.
+	zxl, zxh := d.ZRangeX(mz)
+	nzLoc := zxh - zxl
+	linesX := nyLoc * nzLoc
+	prodX := make([][]complex128, nProducts)
+	for f := range prodX {
+		prodX[f] = make([]complex128, linesX*nkx)
+	}
+	yl0, _ := d.YRange()
+	locMaxU := make([]float64, s.Cfg.Ny)
+	locMaxV := make([]float64, s.Cfg.Ny)
+	locMaxW := make([]float64, s.Cfg.Ny)
+	var maxMu sync.Mutex
+	s.pool().ForBlocks(linesX, func(lo, hi int) {
+		pu := make([]float64, mx)
+		pv := make([]float64, mx)
+		pw := make([]float64, mx)
+		pp := make([]float64, mx)
+		scratch := make([]complex128, mx/2+1)
+		blkU := make([]float64, s.Cfg.Ny)
+		blkV := make([]float64, s.Cfg.Ny)
+		blkW := make([]float64, s.Cfg.Ny)
+		for l := lo; l < hi; l++ {
+			s.padX.InversePaddedScratch(pu, xp[0][l*nkx:(l+1)*nkx], scratch)
+			s.padX.InversePaddedScratch(pv, xp[1][l*nkx:(l+1)*nkx], scratch)
+			s.padX.InversePaddedScratch(pw, xp[2][l*nkx:(l+1)*nkx], scratch)
+			// Harvest physical velocity maxima for the CFL diagnostic;
+			// line l sits at global collocation index yl0 + l/nzLoc.
+			yg := yl0 + l/nzLoc
+			for i := 0; i < mx; i++ {
+				blkU[yg] = math.Max(blkU[yg], math.Abs(pu[i]))
+				blkV[yg] = math.Max(blkV[yg], math.Abs(pv[i]))
+				blkW[yg] = math.Max(blkW[yg], math.Abs(pw[i]))
+			}
+			forward := func(f int, a, b []float64) {
+				for i := 0; i < mx; i++ {
+					pp[i] = a[i] * b[i]
+				}
+				s.padX.ForwardTruncatedScratch(prodX[f][l*nkx:(l+1)*nkx], pp, scratch)
+			}
+			forward(pUU, pu, pu)
+			forward(pUV, pu, pv)
+			forward(pUW, pu, pw)
+			forward(pVV, pv, pv)
+			forward(pVW, pv, pw)
+			forward(pWW, pw, pw)
+		}
+		maxMu.Lock()
+		for y := range locMaxU {
+			locMaxU[y] = math.Max(locMaxU[y], blkU[y])
+			locMaxV[y] = math.Max(locMaxV[y], blkV[y])
+			locMaxW[y] = math.Max(locMaxW[y], blkW[y])
+		}
+		maxMu.Unlock()
+	})
+	s.physMaxMu.Lock()
+	s.physMaxU, s.physMaxV, s.physMaxW = locMaxU, locMaxV, locMaxW
+	s.physMaxCurrent = true
+	s.physMaxMu.Unlock()
+
+	// (h) reverse path: x-pencils -> z-pencils, forward z with truncation,
+	// z-pencils -> y-pencils.
+	zp2 := d.XtoZ(nil, prodX, mz)
+	zspec := make([][]complex128, nProducts)
+	for f := range zspec {
+		zspec[f] = make([]complex128, linesZ*nz)
+		src, dst := zp2[f], zspec[f]
+		s.pool().ForBlocks(linesZ, func(lo, hi int) {
+			scratch := make([]complex128, mz)
+			for l := lo; l < hi; l++ {
+				s.padZ.ForwardTruncatedScratch(dst[l*nz:(l+1)*nz], src[l*mz:(l+1)*mz], scratch)
+			}
+		})
+	}
+	return d.ZtoY(nil, zspec)
+}
+
+// nonlinearTerms evaluates h_g and h_v (collocation values per local
+// wavenumber) and the mean-flow forcing profiles on the owner rank,
+// dispatching on the configured convective-term form. With
+// DisableNonlinear it returns zeros.
+func (s *Solver) nonlinearTerms() (hg, hv [][]complex128, meanHx, meanHz []float64) {
+	ny := s.Cfg.Ny
+	hg = allocCoef(s.nw, ny)
+	hv = allocCoef(s.nw, ny)
+	if s.ownsMean {
+		meanHx = make([]float64, ny)
+		meanHz = make([]float64, ny)
+	}
+	if s.Cfg.DisableNonlinear {
+		return hg, hv, meanHx, meanHz
+	}
+	switch s.Cfg.Nonlinear {
+	case FormConvective:
+		return s.convectiveTerms()
+	case FormSkewSymmetric:
+		hgD, hvD, mxD, mzD := s.divergenceTerms()
+		hgC, hvC, mxC, mzC := s.convectiveTerms()
+		half := complex(0.5, 0)
+		for w := 0; w < s.nw; w++ {
+			for i := 0; i < ny; i++ {
+				hgD[w][i] = half * (hgD[w][i] + hgC[w][i])
+				hvD[w][i] = half * (hvD[w][i] + hvC[w][i])
+			}
+		}
+		if s.ownsMean {
+			for i := 0; i < ny; i++ {
+				mxD[i] = (mxD[i] + mxC[i]) / 2
+				mzD[i] = (mzD[i] + mzC[i]) / 2
+			}
+		}
+		return hgD, hvD, mxD, mzD
+	default:
+		return s.divergenceTerms()
+	}
+}
+
+// divergenceTerms is the paper's path: six dealiased quadratic products.
+func (s *Solver) divergenceTerms() (hg, hv [][]complex128, meanHx, meanHz []float64) {
+	ny := s.Cfg.Ny
+	hg = allocCoef(s.nw, ny)
+	hv = allocCoef(s.nw, ny)
+	if s.ownsMean {
+		meanHx = make([]float64, ny)
+		meanHz = make([]float64, ny)
+	}
+	prods := s.products()
+
+	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
+		sv := make([]complex128, ny)  // S  = i*kx*uv + i*kz*vw
+		sg := make([]complex128, ny)  // Sg = i*kz*uv - i*kx*vw
+		tv := make([]complex128, ny)  // T  = kx^2*uu + 2*kx*kz*uw + kz^2*ww
+		vv := make([]complex128, ny)  // vv
+		tmp := make([]complex128, ny) // derivative values
+		for w := wlo; w < whi; w++ {
+			ikx, ikz := s.modeOf(w)
+			if s.G.IsNyquistZ(ikz) || (ikx == 0 && ikz == 0) {
+				continue
+			}
+			kx, kz := s.G.Kx(ikx), s.G.Kz(ikz)
+			k2 := kx*kx + kz*kz
+			base := w * ny
+			ikxC := complex(0, kx)
+			ikzC := complex(0, kz)
+			for i := 0; i < ny; i++ {
+				uv := prods[pUV][base+i]
+				vw := prods[pVW][base+i]
+				sv[i] = ikxC*uv + ikzC*vw
+				sg[i] = ikzC*uv - ikxC*vw
+				tv[i] = complex(kx*kx, 0)*prods[pUU][base+i] +
+					complex(2*kx*kz, 0)*prods[pUW][base+i] +
+					complex(kz*kz, 0)*prods[pWW][base+i]
+				vv[i] = prods[pVV][base+i]
+			}
+			// h_g = kx*kz*(uu-ww) - (kx^2-kz^2)*uw - d/dy(Sg)
+			cSg := append([]complex128(nil), sg...)
+			s.b0fac.SolveComplex(cSg)
+			s.b1.MulVecComplex(tmp, cSg)
+			hgw := hg[w]
+			for i := 0; i < ny; i++ {
+				hgw[i] = complex(kx*kz, 0)*(prods[pUU][base+i]-prods[pWW][base+i]) -
+					complex(kx*kx-kz*kz, 0)*prods[pUW][base+i] - tmp[i]
+			}
+			// h_v = k2*S + k2*d/dy(vv) - d/dy(T) + d2/dy2(S)
+			hvw := hv[w]
+			ck2 := complex(k2, 0)
+			cS := append([]complex128(nil), sv...)
+			s.b0fac.SolveComplex(cS)
+			s.b2.MulVecComplex(tmp, cS)
+			for i := 0; i < ny; i++ {
+				hvw[i] = ck2*sv[i] + tmp[i]
+			}
+			cV := append([]complex128(nil), vv...)
+			s.b0fac.SolveComplex(cV)
+			s.b1.MulVecComplex(tmp, cV)
+			for i := 0; i < ny; i++ {
+				hvw[i] += ck2 * tmp[i]
+			}
+			cT := append([]complex128(nil), tv...)
+			s.b0fac.SolveComplex(cT)
+			s.b1.MulVecComplex(tmp, cT)
+			for i := 0; i < ny; i++ {
+				hvw[i] -= tmp[i]
+			}
+		}
+	})
+
+	if s.ownsMean {
+		// Mean momentum: H_x(0,0) = -d<uv>/dy, H_z(0,0) = -d<vw>/dy.
+		w00 := s.widx(0, 0)
+		base := w00 * ny
+		cuv := make([]float64, ny)
+		cvw := make([]float64, ny)
+		for i := 0; i < ny; i++ {
+			cuv[i] = real(prods[pUV][base+i])
+			cvw[i] = real(prods[pVW][base+i])
+		}
+		s.b0fac.SolveReal(cuv)
+		s.b0fac.SolveReal(cvw)
+		s.b1.MulVec(meanHx, cuv)
+		s.b1.MulVec(meanHz, cvw)
+		for i := 0; i < ny; i++ {
+			meanHx[i] = -meanHx[i]
+			meanHz[i] = -meanHz[i]
+		}
+	}
+	return hg, hv, meanHx, meanHz
+}

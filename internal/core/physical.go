@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// Physical-space extraction for visualization (paper Figures 7 and 8).
+// These helpers run on a single-rank solver: they evaluate the spectral
+// state on one wall-parallel plane and inverse transform it onto the
+// dealiased MX x MZ physical grid.
+
+// PhysicalComponent selects the field extracted by PhysicalPlane.
+type PhysicalComponent int
+
+// Extractable fields.
+const (
+	CompU      PhysicalComponent = iota // streamwise velocity
+	CompV                               // wall-normal velocity
+	CompW                               // spanwise velocity
+	CompOmegaZ                          // spanwise vorticity dv/dx - du/dy
+)
+
+// PhysicalPlane evaluates the chosen component on the physical grid at
+// collocation index yi and returns it as plane[z][x] with dimensions
+// MZ x MX. It requires a single-rank solver (PA = PB = 1).
+func (s *Solver) PhysicalPlane(comp PhysicalComponent, yi int) [][]float64 {
+	if s.D.PA != 1 || s.D.PB != 1 {
+		panic("core: PhysicalPlane requires a single-rank solver")
+	}
+	if yi < 0 || yi >= s.Cfg.Ny {
+		panic(fmt.Sprintf("core: collocation index %d out of range", yi))
+	}
+	g := s.G
+	ny := s.Cfg.Ny
+	nkx, nz := g.NKx(), g.Nz
+	mx, mz := g.MX(), g.MZ()
+
+	// Spectral plane spec[kx][kz] of the component at yi.
+	spec := make([]complex128, nkx*nz)
+	vy := make([]complex128, ny)
+	vyy := make([]complex128, ny)
+	om := make([]complex128, ny)
+	omy := make([]complex128, ny)
+	vv := make([]complex128, ny)
+	for w := 0; w < s.nw; w++ {
+		ikx, ikz := s.modeOf(w)
+		if g.IsNyquistZ(ikz) {
+			continue
+		}
+		var val complex128
+		if ikx == 0 && ikz == 0 {
+			switch comp {
+			case CompU:
+				u := make([]float64, ny)
+				s.b0.MulVec(u, s.meanU)
+				val = complex(u[yi], 0)
+			case CompW:
+				wv := make([]float64, ny)
+				s.b0.MulVec(wv, s.meanW)
+				val = complex(wv[yi], 0)
+			case CompOmegaZ:
+				// -dU/dy for the mean.
+				du := make([]float64, ny)
+				s.b1.MulVec(du, s.meanU)
+				val = complex(-du[yi], 0)
+			}
+		} else {
+			kx, kz := g.Kx(ikx), g.Kz(ikz)
+			k2 := kx*kx + kz*kz
+			switch comp {
+			case CompV:
+				s.b0.MulVecComplex(vv, s.cv[w])
+				val = vv[yi]
+			case CompU, CompW:
+				s.b1.MulVecComplex(vy, s.cv[w])
+				s.b0.MulVecComplex(om, s.cw[w])
+				if comp == CompU {
+					val = complex(0, kx/k2)*vy[yi] - complex(0, kz/k2)*om[yi]
+				} else {
+					val = complex(0, kz/k2)*vy[yi] + complex(0, kx/k2)*om[yi]
+				}
+			case CompOmegaZ:
+				// omega_z = i*kx*v - du/dy, du/dy = (i*kx*v'' - i*kz*om')/k2.
+				s.b0.MulVecComplex(vv, s.cv[w])
+				s.b2.MulVecComplex(vyy, s.cv[w])
+				s.b1.MulVecComplex(omy, s.cw[w])
+				duy := complex(0, kx/k2)*vyy[yi] - complex(0, kz/k2)*omy[yi]
+				val = complex(0, kx)*vv[yi] - duy
+			}
+		}
+		spec[ikx*nz+ikz] = val
+	}
+
+	// Inverse transform: z first (per kx line), then x (per z line).
+	zline := make([]complex128, nz)
+	zphys := make([]complex128, nkx*mz)
+	for ikx := 0; ikx < nkx; ikx++ {
+		copy(zline, spec[ikx*nz:(ikx+1)*nz])
+		s.padZ.InversePadded(zphys[ikx*mz:(ikx+1)*mz], zline)
+	}
+	plane := make([][]float64, mz)
+	xline := make([]complex128, nkx)
+	for z := 0; z < mz; z++ {
+		plane[z] = make([]float64, mx)
+		for ikx := 0; ikx < nkx; ikx++ {
+			xline[ikx] = zphys[ikx*mz+z]
+		}
+		s.padX.InversePadded(plane[z], xline)
+	}
+	return plane
+}

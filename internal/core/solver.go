@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sync"
+
+	"channeldns/internal/banded"
+	"channeldns/internal/bspline"
+	"channeldns/internal/fft"
+	"channeldns/internal/field"
+	"channeldns/internal/mpi"
+	"channeldns/internal/pencil"
+)
+
+// Solver holds the distributed state of a channel DNS: B-spline coefficients
+// of the wall-normal velocity v and wall-normal vorticity omega_y for every
+// locally owned Fourier mode (y-pencil configuration), plus the mean-flow
+// profiles on the rank that owns the (0,0) mode.
+type Solver struct {
+	Cfg  Config
+	G    field.Grid
+	D    *pencil.Decomp
+	B    *bspline.Basis
+	grev []float64
+	nu   float64
+
+	// Collocation operators (unfactored, used as matvecs) and the factored
+	// interpolation matrix shared by every wavenumber.
+	b0, b1, b2 *banded.Real
+	b0fac      *banded.Compact
+	wall       bspline.WallRows
+
+	// Local wavenumber window (y-pencil): one-sided kx and wrapped kz.
+	kxlo, kxhi, kzlo, kzhi int
+	nw                     int // (kxhi-kxlo)*(kzhi-kzlo)
+
+	// State: spline coefficients per local wavenumber.
+	cv, cw [][]complex128
+	// Previous-substep nonlinear terms (collocation values).
+	hgPrev, hvPrev [][]complex128
+
+	// Mean flow (only meaningful on the owner of kx=kz=0).
+	ownsMean               bool
+	meanU, meanW           []float64 // spline coefficients
+	meanHxPrev, meanHzPrev []float64
+
+	// Per-wavenumber factored operators, built lazily for the current Dt.
+	ops     []*wnOps
+	opsDt   float64
+	meanOps [3]bandSolver
+
+	// Fused dealiasing transforms.
+	padZ *fft.PaddedComplex
+	padX *fft.PaddedReal
+
+	// Per-y maxima of |u|, |v|, |w| on the physical grid, harvested for
+	// free during the most recent nonlinear evaluation (local to this
+	// rank's y range; zero elsewhere). Used by CFLEstimate.
+	physMaxMu      sync.Mutex
+	physMaxU       []float64
+	physMaxV       []float64
+	physMaxW       []float64
+	physMaxCurrent bool
+
+	Time float64
+	Step int
+}
+
+// New constructs a solver collectively on the world communicator. Every
+// rank of the PA x PB grid must call it with identical configuration.
+func New(world *mpi.Comm, cfg Config) (*Solver, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := field.NewGrid(cfg.Nx, cfg.Ny, cfg.Nz, cfg.Lx, cfg.Lz)
+	s := &Solver{
+		Cfg: cfg,
+		G:   g,
+		nu:  1 / cfg.ReTau,
+		B:   bspline.NewFromBreakpoints(cfg.Degree, bspline.ChannelBreakpoints(cfg.Ny-cfg.Degree, cfg.Stretch)),
+	}
+	if s.B.NumBasis() != cfg.Ny {
+		panic("core: basis size mismatch")
+	}
+	s.grev = s.B.Greville()
+	s.b0 = s.B.CollocationMatrix(s.grev, 0)
+	s.b1 = s.B.CollocationMatrix(s.grev, 1)
+	s.b2 = s.B.CollocationMatrix(s.grev, 2)
+	s.wall = s.B.WallRows()
+	s.b0fac = compactFromRows(s.B, s.grev, func(i int, row0, row1, row2 []float64) []float64 {
+		return row0
+	})
+	if err := s.b0fac.Factor(); err != nil {
+		return nil, err
+	}
+
+	s.D = pencil.New(world, cfg.PA, cfg.PB, g.NKx(), g.Nz, g.Ny, cfg.Pool)
+	s.kxlo, s.kxhi = s.D.KxRange()
+	s.kzlo, s.kzhi = s.D.KzRangeY()
+	s.nw = (s.kxhi - s.kxlo) * (s.kzhi - s.kzlo)
+
+	s.cv = allocCoef(s.nw, cfg.Ny)
+	s.cw = allocCoef(s.nw, cfg.Ny)
+	s.hgPrev = allocCoef(s.nw, cfg.Ny)
+	s.hvPrev = allocCoef(s.nw, cfg.Ny)
+
+	s.ownsMean = s.kxlo == 0 && s.kzlo == 0
+	if s.ownsMean {
+		s.meanU = make([]float64, cfg.Ny)
+		s.meanW = make([]float64, cfg.Ny)
+		s.meanHxPrev = make([]float64, cfg.Ny)
+		s.meanHzPrev = make([]float64, cfg.Ny)
+	}
+
+	s.padZ = fft.NewPaddedComplex(g.Nz, g.MZ())
+	s.padX = fft.NewPaddedReal(g.NKx(), g.MX())
+	s.physMaxU = make([]float64, cfg.Ny)
+	s.physMaxV = make([]float64, cfg.Ny)
+	s.physMaxW = make([]float64, cfg.Ny)
+	return s, nil
+}
+
+func allocCoef(nw, ny int) [][]complex128 {
+	out := make([][]complex128, nw)
+	for i := range out {
+		out[i] = make([]complex128, ny)
+	}
+	return out
+}
+
+// widx maps global mode indices to the local wavenumber slot, or -1.
+func (s *Solver) widx(ikx, ikz int) int {
+	if ikx < s.kxlo || ikx >= s.kxhi || ikz < s.kzlo || ikz >= s.kzhi {
+		return -1
+	}
+	return (ikx-s.kxlo)*(s.kzhi-s.kzlo) + (ikz - s.kzlo)
+}
+
+// modeOf inverts widx: local slot -> global (ikx, ikz).
+func (s *Solver) modeOf(w int) (int, int) {
+	nkz := s.kzhi - s.kzlo
+	return s.kxlo + w/nkz, s.kzlo + w%nkz
+}
+
+// OwnsMean reports whether this rank holds the kx=kz=0 mean-flow state.
+func (s *Solver) OwnsMean() bool { return s.ownsMean }
+
+// Basis returns the wall-normal B-spline basis.
+func (s *Solver) Basis() *bspline.Basis { return s.B }
+
+// CollocationPoints returns the Greville collocation points in y.
+func (s *Solver) CollocationPoints() []float64 { return s.grev }
+
+// Nu returns the kinematic viscosity 1/ReTau.
+func (s *Solver) Nu() float64 { return s.nu }
+
+// VCoef returns the spline coefficients of v-hat for a locally owned mode,
+// or nil. The slice aliases solver state.
+func (s *Solver) VCoef(ikx, ikz int) []complex128 {
+	if w := s.widx(ikx, ikz); w >= 0 {
+		return s.cv[w]
+	}
+	return nil
+}
+
+// OmegaCoef returns the spline coefficients of omega_y-hat for a locally
+// owned mode, or nil. The slice aliases solver state.
+func (s *Solver) OmegaCoef(ikx, ikz int) []complex128 {
+	if w := s.widx(ikx, ikz); w >= 0 {
+		return s.cw[w]
+	}
+	return nil
+}
+
+// MeanUCoef returns the spline coefficients of the mean streamwise profile
+// (owner rank only; nil elsewhere). The slice aliases solver state.
+func (s *Solver) MeanUCoef() []float64 { return s.meanU }
+
+// MeanWCoef returns the spline coefficients of the mean spanwise profile.
+func (s *Solver) MeanWCoef() []float64 { return s.meanW }
+
+// compactFromRows assembles a Compact matrix whose interior rows are a
+// combination of the 0th/1st/2nd-derivative collocation rows at each
+// Greville point, as selected by pick.
+func compactFromRows(b *bspline.Basis, pts []float64, pick func(i int, r0, r1, r2 []float64) []float64) *banded.Compact {
+	n := len(pts)
+	deg := b.Degree()
+	c := banded.NewCompact(n, deg)
+	for i, u := range pts {
+		start, ders := b.RowAt(u, 2)
+		row := pick(i, ders[0], ders[1], ders[2])
+		// For Greville points the span satisfies i <= span <= i+deg, so
+		// every nonzero column lies within [i-deg, i+deg]: always in band.
+		for j := 0; j <= deg; j++ {
+			c.Set(i, start+j, row[j])
+		}
+	}
+	return c
+}

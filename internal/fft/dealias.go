@@ -1,0 +1,169 @@
+package fft
+
+// This file implements the fused 3/2-rule "pad, transform, truncate"
+// operations of the paper's steps (b)-(f): spectral data carrying N Fourier
+// modes is expanded with zeros onto a quadrature grid of M >= 3N/2 points
+// before inverse transforming, and after the forward transform only the
+// resolved modes are kept. Performing the pad/truncate inside the transform
+// wrapper keeps the data in cache across the two operations, which is the
+// optimization the paper attributes to its threaded FFT blocks.
+
+// PadComplex embeds a wrap-ordered complex spectrum of logical length n into
+// a wrap-ordered spectrum of length m >= n, zeroing the new high modes.
+// Modes k = 0..n/2-1 and k = -(n/2-1)..-1 are copied; the Nyquist slot of the
+// source (index n/2, for even n) is dropped, matching the solver convention
+// that the Nyquist mode is not carried.
+func PadComplex(dst, src []complex128, n, m int) {
+	if m < n {
+		panic("fft: PadComplex target smaller than source")
+	}
+	if len(dst) < m || len(src) < n {
+		panic("fft: PadComplex slice lengths")
+	}
+	half := n / 2
+	copy(dst[:half], src[:half])
+	for i := half; i < m-(n-half)+1; i++ {
+		dst[i] = 0
+	}
+	// Negative wavenumbers: src indices half+1..n-1 map to dst m-n+half+1..m-1.
+	neg := n - half - 1 // count of negative modes
+	for j := 0; j < neg; j++ {
+		dst[m-neg+j] = src[n-neg+j]
+	}
+}
+
+// TruncateComplex extracts the resolved modes of a wrap-ordered spectrum of
+// length m back into a spectrum of logical length n <= m, scaling by s and
+// zeroing the Nyquist slot of the destination.
+func TruncateComplex(dst, src []complex128, n, m int, s float64) {
+	if m < n {
+		panic("fft: TruncateComplex source smaller than target")
+	}
+	if len(dst) < n || len(src) < m {
+		panic("fft: TruncateComplex slice lengths")
+	}
+	cs := complex(s, 0)
+	half := n / 2
+	for k := 0; k < half; k++ {
+		dst[k] = src[k] * cs
+	}
+	neg := n - half - 1
+	if n%2 == 0 {
+		dst[half] = 0 // Nyquist not carried
+	}
+	for j := 0; j < neg; j++ {
+		dst[n-neg+j] = src[m-neg+j] * cs
+	}
+}
+
+// PaddedComplex fuses 3/2-rule padding with complex transforms in one
+// direction (the z transforms of the DNS). The spectral side carries n
+// wrap-ordered modes (Nyquist zero); the physical side has m points.
+type PaddedComplex struct {
+	n, m int
+	plan *Plan
+	buf  []complex128
+}
+
+// NewPaddedComplex builds the fused transform for n spectral modes on an
+// m-point quadrature grid (typically m = 3n/2).
+func NewPaddedComplex(n, m int) *PaddedComplex {
+	if m < n {
+		panic("fft: padded transform needs m >= n")
+	}
+	return &PaddedComplex{n: n, m: m, plan: NewPlan(m), buf: make([]complex128, m)}
+}
+
+// SpectralLen returns n, the number of spectral modes carried.
+func (p *PaddedComplex) SpectralLen() int { return p.n }
+
+// PhysicalLen returns m, the quadrature grid size.
+func (p *PaddedComplex) PhysicalLen() int { return p.m }
+
+// InversePadded fills phys (length m) with the unnormalized inverse
+// transform of the zero-padded spectrum spec (length n). Not safe for
+// concurrent use; see InversePaddedScratch.
+func (p *PaddedComplex) InversePadded(phys, spec []complex128) {
+	p.InversePaddedScratch(phys, spec, p.buf)
+}
+
+// InversePaddedScratch is InversePadded with caller-provided scratch of
+// length PhysicalLen(), safe for concurrent use with distinct scratch.
+func (p *PaddedComplex) InversePaddedScratch(phys, spec, scratch []complex128) {
+	PadComplex(scratch, spec, p.n, p.m)
+	p.plan.Inverse(phys, scratch)
+}
+
+// ForwardTruncated transforms phys (length m) forward and stores the n
+// resolved modes into spec, normalized by 1/m so that a round trip is the
+// identity on the resolved modes. Not safe for concurrent use; see
+// ForwardTruncatedScratch.
+func (p *PaddedComplex) ForwardTruncated(spec, phys []complex128) {
+	p.ForwardTruncatedScratch(spec, phys, p.buf)
+}
+
+// ForwardTruncatedScratch is ForwardTruncated with caller-provided scratch
+// of length PhysicalLen(), safe for concurrent use with distinct scratch.
+func (p *PaddedComplex) ForwardTruncatedScratch(spec, phys, scratch []complex128) {
+	p.plan.Forward(scratch, phys)
+	TruncateComplex(spec, scratch, p.n, p.m, 1/float64(p.m))
+}
+
+// PaddedReal fuses 3/2-rule padding with real transforms in one direction
+// (the x transforms of the DNS). The spectral side carries nk one-sided
+// modes k = 0..nk-1 with the Nyquist mode dropped, as in the paper's
+// customized kernel; the physical side has m real points.
+type PaddedReal struct {
+	nk, m int
+	plan  *RealPlan
+	buf   []complex128
+}
+
+// NewPaddedReal builds the fused real transform carrying nk one-sided modes
+// on an m-point grid (typically nk = Nx/2 and m = 3Nx/2).
+func NewPaddedReal(nk, m int) *PaddedReal {
+	if m/2+1 < nk {
+		panic("fft: padded real transform needs m/2+1 >= nk")
+	}
+	return &PaddedReal{nk: nk, m: m, plan: NewRealPlan(m), buf: make([]complex128, m/2+1)}
+}
+
+// SpectralLen returns the number of one-sided modes carried.
+func (p *PaddedReal) SpectralLen() int { return p.nk }
+
+// PhysicalLen returns the quadrature grid size.
+func (p *PaddedReal) PhysicalLen() int { return p.m }
+
+// InversePadded fills phys (length m) with the unnormalized inverse real
+// transform of the zero-padded one-sided spectrum spec (length nk). Not
+// safe for concurrent use; see InversePaddedScratch.
+func (p *PaddedReal) InversePadded(phys []float64, spec []complex128) {
+	p.InversePaddedScratch(phys, spec, p.buf)
+}
+
+// InversePaddedScratch is InversePadded with caller-provided scratch of
+// length m/2+1, safe for concurrent use with distinct scratch.
+func (p *PaddedReal) InversePaddedScratch(phys []float64, spec, scratch []complex128) {
+	copy(scratch[:p.nk], spec[:p.nk])
+	for i := p.nk; i < p.m/2+1; i++ {
+		scratch[i] = 0
+	}
+	p.plan.Inverse(phys, scratch)
+}
+
+// ForwardTruncated transforms phys forward and keeps the nk resolved
+// one-sided modes, normalized by 1/m. Not safe for concurrent use; see
+// ForwardTruncatedScratch.
+func (p *PaddedReal) ForwardTruncated(spec []complex128, phys []float64) {
+	p.ForwardTruncatedScratch(spec, phys, p.buf)
+}
+
+// ForwardTruncatedScratch is ForwardTruncated with caller-provided scratch
+// of length m/2+1, safe for concurrent use with distinct scratch.
+func (p *PaddedReal) ForwardTruncatedScratch(spec []complex128, phys []float64, scratch []complex128) {
+	p.plan.Forward(scratch, phys)
+	s := complex(1/float64(p.m), 0)
+	for k := 0; k < p.nk; k++ {
+		spec[k] = scratch[k] * s
+	}
+}

@@ -1,0 +1,188 @@
+// Package fft provides the one-dimensional fast Fourier transforms that the
+// channel DNS is built on: complex mixed-radix transforms (radix 2, 3, 5 with
+// a Bluestein fallback for other factors), real-to-complex transforms in the
+// half-complex storage scheme, batched strided interfaces, and the fused
+// 3/2-rule pad/truncate transforms used for dealiasing.
+//
+// Sign and normalization conventions follow FFTW: Forward computes
+//
+//	X[k] = sum_j x[j] * exp(-2*pi*i*j*k/N)
+//
+// and Inverse computes
+//
+//	x[j] = sum_k X[k] * exp(+2*pi*i*j*k/N)
+//
+// Neither is normalized; applying Forward then Inverse multiplies the input
+// by N. Callers (the spectral solver) fold the 1/N into the physical-to-
+// spectral direction.
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan holds the precomputed state for complex transforms of a fixed length.
+// A Plan is safe for concurrent use by multiple goroutines as long as each
+// call uses distinct destination and scratch storage; the methods on Plan
+// allocate per-call scratch internally only for Bluestein lengths.
+type Plan struct {
+	n       int
+	factors []int        // radix of each Cooley-Tukey stage
+	twF     []complex128 // forward twiddles w_N^j = exp(-2*pi*i*j/N)
+	twI     []complex128 // inverse twiddles
+	blue    *bluestein   // non-nil when n has factors other than 2, 3, 5
+}
+
+// NewPlan creates a transform plan for complex sequences of length n.
+// n must be positive.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	p := &Plan{n: n}
+	p.factors, p.blue = factorize(n)
+	if p.blue == nil {
+		p.twF = make([]complex128, n)
+		p.twI = make([]complex128, n)
+		for j := 0; j < n; j++ {
+			s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+			p.twF[j] = complex(c, s)
+			p.twI[j] = complex(c, -s)
+		}
+	}
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// factorize splits n into radix-2/3/5 stages. If n contains any other prime
+// factor the whole transform is delegated to Bluestein's algorithm and the
+// returned factor list is nil.
+func factorize(n int) ([]int, *bluestein) {
+	m := n
+	var f []int
+	for _, r := range []int{5, 3, 2} {
+		for m%r == 0 {
+			f = append(f, r)
+			m /= r
+		}
+	}
+	if m != 1 {
+		return nil, newBluestein(n)
+	}
+	return f, nil
+}
+
+// Forward computes the unnormalized forward DFT of src into dst.
+// dst and src must both have length Len() and may be the same slice.
+func (p *Plan) Forward(dst, src []complex128) { p.transform(dst, src, +1) }
+
+// Inverse computes the unnormalized inverse DFT of src into dst.
+// dst and src must both have length Len() and may be the same slice.
+func (p *Plan) Inverse(dst, src []complex128) { p.transform(dst, src, -1) }
+
+func (p *Plan) transform(dst, src []complex128, sign int) {
+	if len(dst) < p.n || len(src) < p.n {
+		panic("fft: slice shorter than plan length")
+	}
+	if p.blue != nil {
+		p.blue.transform(dst[:p.n], src[:p.n], sign)
+		return
+	}
+	tw := p.twF
+	if sign < 0 {
+		tw = p.twI
+	}
+	if &dst[0] == &src[0] {
+		tmp := make([]complex128, p.n)
+		copy(tmp, src[:p.n])
+		src = tmp
+	}
+	p.rec(dst, src, p.n, 1, 0, tw)
+}
+
+// rec performs a depth-first decimation-in-time Cooley-Tukey step for a
+// sub-transform of length n reading src with the given stride. level indexes
+// into the factor list. Twiddles for length n are tw[j*(N/n)].
+func (p *Plan) rec(dst, src []complex128, n, stride, level int, tw []complex128) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := p.factors[level]
+	m := n / r
+	for q := 0; q < r; q++ {
+		p.rec(dst[q*m:], src[q*stride:], m, stride*r, level+1, tw)
+	}
+	// Combine the r sub-transforms. For each k in [0,m):
+	//   z_q = w_N^(q*k*(N/n)) * Y_q[k]
+	//   dst[k + s*m] = sum_q z_q * w_r^(q*s)
+	step := p.n / n
+	switch r {
+	case 2:
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := tw[k*step] * dst[m+k]
+			dst[k] = a + b
+			dst[m+k] = a - b
+		}
+	case 3:
+		// w_r^1 for radix 3 in the same sign convention as tw.
+		w1 := tw[p.n/3]
+		w2 := tw[2*p.n/3]
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := tw[k*step] * dst[m+k]
+			c := tw[(2*k*step)%p.n] * dst[2*m+k]
+			dst[k] = a + b + c
+			dst[m+k] = a + w1*b + w2*c
+			dst[2*m+k] = a + w2*b + w1*c
+		}
+	default:
+		var z [5]complex128
+		for k := 0; k < m; k++ {
+			for q := 0; q < r; q++ {
+				z[q] = tw[(q*k*step)%p.n] * dst[q*m+k]
+			}
+			for s := 0; s < r; s++ {
+				sum := z[0]
+				for q := 1; q < r; q++ {
+					sum += z[q] * tw[(q*s*(p.n/r))%p.n]
+				}
+				dst[s*m+k] = sum
+			}
+		}
+	}
+}
+
+// Scale multiplies every element of x by s. It is a convenience for applying
+// the 1/N normalization after a forward transform.
+func Scale(x []complex128, s float64) {
+	cs := complex(s, 0)
+	for i := range x {
+		x[i] *= cs
+	}
+}
+
+// ForwardMany applies the forward transform to howmany contiguous lines of
+// length Len() stored back to back in src, writing to dst. dst and src may
+// alias element-for-element.
+func (p *Plan) ForwardMany(dst, src []complex128, howmany int) {
+	p.many(dst, src, howmany, +1)
+}
+
+// InverseMany applies the inverse transform to howmany contiguous lines.
+func (p *Plan) InverseMany(dst, src []complex128, howmany int) {
+	p.many(dst, src, howmany, -1)
+}
+
+func (p *Plan) many(dst, src []complex128, howmany, sign int) {
+	if len(dst) < howmany*p.n || len(src) < howmany*p.n {
+		panic("fft: batch slices shorter than howmany*Len()")
+	}
+	for i := 0; i < howmany; i++ {
+		p.transform(dst[i*p.n:(i+1)*p.n], src[i*p.n:(i+1)*p.n], sign)
+	}
+}

@@ -1,0 +1,354 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(N^2) reference transform.
+func naiveDFT(src []complex128, sign int) []complex128 {
+	n := len(src)
+	dst := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			theta := 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			if sign > 0 {
+				theta = -theta
+			}
+			sum += src[j] * cmplx.Exp(complex(0, theta))
+		}
+		dst[k] = sum
+	}
+	return dst
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErrC(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 24, 27, 30, 32, 36, 48, 60, 64, 96, 100, 120, 128} {
+		p := NewPlan(n)
+		x := randComplex(rng, n)
+		got := make([]complex128, n)
+		p.Forward(got, x)
+		want := naiveDFT(x, +1)
+		if e := maxErrC(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: forward max error %g", n, e)
+		}
+		p.Inverse(got, x)
+		want = naiveDFT(x, -1)
+		if e := maxErrC(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: inverse max error %g", n, e)
+		}
+	}
+}
+
+func TestBluesteinSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{7, 11, 13, 14, 17, 21, 22, 23, 49, 97, 101} {
+		p := NewPlan(n)
+		if p.blue == nil {
+			t.Fatalf("n=%d should use Bluestein", n)
+		}
+		x := randComplex(rng, n)
+		got := make([]complex128, n)
+		p.Forward(got, x)
+		want := naiveDFT(x, +1)
+		if e := maxErrC(got, want); e > 1e-8*float64(n) {
+			t.Errorf("bluestein n=%d: forward max error %g", n, e)
+		}
+		p.Inverse(got, x)
+		want = naiveDFT(x, -1)
+		if e := maxErrC(got, want); e > 1e-8*float64(n) {
+			t.Errorf("bluestein n=%d: inverse max error %g", n, e)
+		}
+	}
+}
+
+func TestRoundTripScalesByN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 6, 18, 32, 45, 7, 31} {
+		p := NewPlan(n)
+		x := randComplex(rng, n)
+		y := make([]complex128, n)
+		p.Forward(y, x)
+		z := make([]complex128, n)
+		p.Inverse(z, y)
+		for i := range z {
+			if d := cmplx.Abs(z[i] - complex(float64(n), 0)*x[i]); d > 1e-8*float64(n) {
+				t.Fatalf("n=%d roundtrip mismatch at %d: %g", n, i, d)
+			}
+		}
+	}
+}
+
+func TestInPlaceTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 48
+	p := NewPlan(n)
+	x := randComplex(rng, n)
+	want := make([]complex128, n)
+	p.Forward(want, x)
+	p.Forward(x, x) // in place
+	if e := maxErrC(x, want); e > 1e-10*float64(n) {
+		t.Errorf("in-place forward differs: %g", e)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	p := NewPlan(24)
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randComplex(r, 24)
+		y := randComplex(r, 24)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		lhsIn := make([]complex128, 24)
+		for i := range lhsIn {
+			lhsIn[i] = a*x[i] + y[i]
+		}
+		lhs := make([]complex128, 24)
+		p.Forward(lhs, lhsIn)
+		fx := make([]complex128, 24)
+		fy := make([]complex128, 24)
+		p.Forward(fx, x)
+		p.Forward(fy, y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		p := NewPlan(n)
+		x := randComplex(r, n)
+		y := make([]complex128, n)
+		p.Forward(y, x)
+		var sx, sy float64
+		for i := range x {
+			sx += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			sy += real(y[i])*real(y[i]) + imag(y[i])*imag(y[i])
+		}
+		return math.Abs(sy-float64(n)*sx) <= 1e-7*(1+sy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealForwardMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 4, 6, 8, 12, 16, 24, 48, 64, 96, 5, 9, 7, 15} {
+		rp := NewRealPlan(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]complex128, rp.NumModes())
+		rp.Forward(got, x)
+		cx := make([]complex128, n)
+		for i := range x {
+			cx[i] = complex(x[i], 0)
+		}
+		want := naiveDFT(cx, +1)
+		for k := 0; k < rp.NumModes(); k++ {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Errorf("n=%d k=%d: real forward %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 10, 12, 36, 48, 3, 9, 27} {
+		rp := NewRealPlan(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := make([]complex128, rp.NumModes())
+		rp.Forward(spec, x)
+		back := make([]float64, n)
+		rp.Inverse(back, spec)
+		for i := range x {
+			if math.Abs(back[i]-float64(n)*x[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d real roundtrip mismatch at %d: got %g want %g", n, i, back[i], float64(n)*x[i])
+			}
+		}
+	}
+}
+
+func TestRealHermitianSpectrum(t *testing.T) {
+	// The half-complex storage must equal the first half of the full DFT;
+	// DC and Nyquist must be (numerically) real.
+	rng := rand.New(rand.NewSource(8))
+	n := 32
+	rp := NewRealPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	spec := make([]complex128, rp.NumModes())
+	rp.Forward(spec, x)
+	if math.Abs(imag(spec[0])) > 1e-10 || math.Abs(imag(spec[n/2])) > 1e-10 {
+		t.Errorf("DC/Nyquist not real: %v %v", spec[0], spec[n/2])
+	}
+}
+
+func TestPadTruncateComplexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, m := 16, 24
+	pc := NewPaddedComplex(n, m)
+	spec := randComplex(rng, n)
+	spec[n/2] = 0 // Nyquist not carried
+	phys := make([]complex128, m)
+	pc.InversePadded(phys, spec)
+	back := make([]complex128, n)
+	pc.ForwardTruncated(back, phys)
+	if e := maxErrC(back, spec); e > 1e-10 {
+		t.Errorf("padded complex roundtrip error %g", e)
+	}
+}
+
+func TestPadTruncateRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	nk, m := 8, 24 // Nx = 16 modes one-sided -> 8 kept (Nyquist dropped), grid 24
+	pr := NewPaddedReal(nk, m)
+	spec := randComplex(rng, nk)
+	spec[0] = complex(real(spec[0]), 0) // DC of a real field is real
+	phys := make([]float64, m)
+	pr.InversePadded(phys, spec)
+	back := make([]complex128, nk)
+	pr.ForwardTruncated(back, phys)
+	if e := maxErrC(back, spec); e > 1e-10 {
+		t.Errorf("padded real roundtrip error %g", e)
+	}
+}
+
+func TestPaddedProductDealiases(t *testing.T) {
+	// Multiplying two single modes k1 and k2 on the 3/2 grid must produce
+	// exactly the k1+k2 mode with no aliasing into resolved modes.
+	n := 16 // logical complex spectrum length
+	m := 24 // 3/2 grid
+	k1, k2 := 5, 6
+	pc := NewPaddedComplex(n, m)
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	a[k1] = 1
+	b[k2] = 1
+	pa := make([]complex128, m)
+	pb := make([]complex128, m)
+	pc.InversePadded(pa, a)
+	pc.InversePadded(pb, b)
+	prod := make([]complex128, m)
+	for i := range prod {
+		prod[i] = pa[i] * pb[i]
+	}
+	out := make([]complex128, n)
+	pc.ForwardTruncated(out, prod)
+	// k1+k2 = 11 > n/2-1 = 7, so the product is entirely unresolved: with
+	// proper dealiasing every resolved coefficient must vanish.
+	for k := range out {
+		if cmplx.Abs(out[k]) > 1e-12 {
+			t.Errorf("aliased energy at k=%d: %v", k, out[k])
+		}
+	}
+	// And a resolved product must land exactly on k1+k2.
+	b2 := make([]complex128, n)
+	b2[2] = 1
+	pc.InversePadded(pb, b2)
+	for i := range prod {
+		prod[i] = pa[i] * pb[i]
+	}
+	pc.ForwardTruncated(out, prod)
+	for k := range out {
+		want := complex128(0)
+		if k == k1+2 {
+			want = 1
+		}
+		if cmplx.Abs(out[k]-want) > 1e-12 {
+			t.Errorf("product mode k=%d: got %v want %v", k, out[k], want)
+		}
+	}
+}
+
+func TestForwardManyMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, hm := 20, 7
+	p := NewPlan(n)
+	src := randComplex(rng, n*hm)
+	dst := make([]complex128, n*hm)
+	p.ForwardMany(dst, src, hm)
+	for i := 0; i < hm; i++ {
+		want := make([]complex128, n)
+		p.Forward(want, src[i*n:(i+1)*n])
+		if e := maxErrC(dst[i*n:(i+1)*n], want); e > 1e-12 {
+			t.Errorf("batch line %d differs: %g", i, e)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []complex128{1, 2i, 3 + 4i}
+	Scale(x, 0.5)
+	want := []complex128{0.5, 1i, 1.5 + 2i}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Errorf("Scale[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	p := NewPlan(1024)
+	x := randComplex(rand.New(rand.NewSource(1)), 1024)
+	y := make([]complex128, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(y, x)
+	}
+}
+
+func BenchmarkRealForward1536(b *testing.B) {
+	p := NewRealPlan(1536)
+	x := make([]float64, 1536)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]complex128, p.NumModes())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(y, x)
+	}
+}

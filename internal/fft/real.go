@@ -1,0 +1,139 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// RealPlan transforms real sequences of length N to half-complex spectra of
+// NumModes() = N/2+1 coefficients and back. Even lengths use the standard
+// half-length complex-packing trick; odd lengths fall back to a full complex
+// transform. Conventions match Plan: Forward is unnormalized,
+// Inverse(Forward(x)) == N*x.
+type RealPlan struct {
+	n    int
+	nc   int
+	half *Plan // length n/2 when n is even
+	full *Plan // length n when n is odd
+	// twiddles w^k = exp(-2*pi*i*k/n) for k in [0, n/2]
+	w []complex128
+}
+
+// NewRealPlan creates a real transform plan for length n > 0.
+func NewRealPlan(n int) *RealPlan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid real transform length %d", n))
+	}
+	p := &RealPlan{n: n, nc: n/2 + 1}
+	if n%2 == 0 && n > 1 {
+		p.half = NewPlan(n / 2)
+		p.w = make([]complex128, n/2+1)
+		tw := NewPlan(n) // borrow its twiddle table
+		if tw.blue == nil {
+			for k := 0; k <= n/2; k++ {
+				p.w[k] = tw.twF[k]
+			}
+		} else {
+			for k := 0; k <= n/2; k++ {
+				p.w[k] = expTw(-1, k, n)
+			}
+		}
+	} else {
+		p.full = NewPlan(n)
+	}
+	return p
+}
+
+// Len returns the physical (real) length.
+func (p *RealPlan) Len() int { return p.n }
+
+// NumModes returns the number of stored half-complex coefficients, N/2+1.
+func (p *RealPlan) NumModes() int { return p.nc }
+
+// Forward computes the half-complex spectrum of the real sequence src.
+// dst must have length >= NumModes(); src must have length >= Len().
+func (p *RealPlan) Forward(dst []complex128, src []float64) {
+	if len(dst) < p.nc || len(src) < p.n {
+		panic("fft: real forward slice lengths")
+	}
+	if p.full != nil {
+		buf := make([]complex128, p.n)
+		for j, v := range src[:p.n] {
+			buf[j] = complex(v, 0)
+		}
+		p.full.Forward(buf, buf)
+		copy(dst, buf[:p.nc])
+		return
+	}
+	h := p.n / 2
+	z := make([]complex128, h)
+	for j := 0; j < h; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Forward(z, z)
+	// Unpack: E[k] = (Z[k]+conj(Z[h-k]))/2, O[k] = (Z[k]-conj(Z[h-k]))/(2i),
+	// X[k] = E[k] + w^k O[k] for k = 0..h (Z periodic with Z[h] = Z[0]).
+	for k := 0; k <= h; k++ {
+		zk := z[k%h]
+		zr := conj(z[(h-k)%h])
+		e := (zk + zr) * complex(0.5, 0)
+		o := (zk - zr) * complex(0, -0.5)
+		dst[k] = e + p.w[k]*o
+	}
+}
+
+// Inverse computes the unnormalized inverse of a half-complex spectrum,
+// writing a real sequence of length Len(). The imaginary parts of src[0]
+// and, for even N, src[N/2] are ignored (they must be zero for a valid
+// Hermitian spectrum). Inverse(Forward(x)) == N*x.
+func (p *RealPlan) Inverse(dst []float64, src []complex128) {
+	if len(dst) < p.n || len(src) < p.nc {
+		panic("fft: real inverse slice lengths")
+	}
+	if p.full != nil {
+		buf := make([]complex128, p.n)
+		copy(buf, src[:p.nc])
+		buf[0] = complex(real(src[0]), 0)
+		for k := p.nc; k < p.n; k++ {
+			buf[k] = conj(buf[p.n-k])
+		}
+		p.full.Inverse(buf, buf)
+		for j := 0; j < p.n; j++ {
+			dst[j] = real(buf[j])
+		}
+		return
+	}
+	h := p.n / 2
+	z := make([]complex128, h)
+	x0 := complex(real(src[0]), 0)
+	xh := complex(real(src[h]), 0)
+	for k := 0; k < h; k++ {
+		var xk, xrk complex128
+		switch k {
+		case 0:
+			xk, xrk = x0, xh
+		default:
+			xk, xrk = src[k], conj(src[h-k])
+		}
+		e := (xk + xrk) * complex(0.5, 0)
+		wo := (xk - xrk) * complex(0.5, 0)
+		// O[k] = w^-k * wo; w^-k = conj(w^k).
+		o := conj(p.w[k]) * wo
+		z[k] = e + complex(0, 1)*o
+	}
+	p.half.Inverse(z, z)
+	for j := 0; j < h; j++ {
+		dst[2*j] = 2 * real(z[j])
+		dst[2*j+1] = 2 * imag(z[j])
+	}
+}
+
+// expTw returns exp(sign * 2*pi*i * k / n).
+func expTw(sign, k, n int) complex128 {
+	theta := 2 * math.Pi * float64(k) / float64(n)
+	if sign < 0 {
+		theta = -theta
+	}
+	s, c := math.Sincos(theta)
+	return complex(c, s)
+}

@@ -1,0 +1,244 @@
+package galerkin
+
+import (
+	"channeldns/internal/par"
+)
+
+// Nonlinear term evaluation for the Galerkin scheme. Velocities are
+// evaluated at the wall-normal quadrature points, run through the same
+// transpose/dealiased-FFT pipeline as the collocation solver, multiplied
+// pointwise, and the results are projected onto the test functions by
+// quadrature, with y-derivatives integrated by parts:
+//
+//	Fhg_i = int B_i [kx*kz*(uu-ww) - (kx^2-kz^2)*uw] + int B_i' Sg
+//	Fhv_i = k2 int B_i S - k2 int B_i' vv + int B_i' T + int B_i'' S
+//
+// with S = i*kx*uv + i*kz*vw, Sg = i*kz*uv - i*kx*vw and
+// T = kx^2*uu + 2*kx*kz*uw + kz^2*ww.
+const (
+	pUU = iota
+	pUV
+	pUW
+	pVV
+	pVW
+	pWW
+	nProducts
+)
+
+func (s *Solver) pool() *par.Pool { return s.Cfg.Pool }
+
+// velocityAtQuad evaluates u, v, w at the quadrature points for every local
+// mode, in the y-pencil layout with NY = NumQuad.
+func (s *Solver) velocityAtQuad() [][]complex128 {
+	nq := s.qt.NumQuad()
+	out := make([][]complex128, 3)
+	for f := range out {
+		out[f] = make([]complex128, s.nw*nq)
+	}
+	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
+		full := make([]complex128, s.Cfg.Ny)
+		vq := make([]complex128, nq)
+		vyq := make([]complex128, nq)
+		omq := make([]complex128, nq)
+		for w := wlo; w < whi; w++ {
+			ikx, ikz := s.modeOf(w)
+			base := w * nq
+			if s.G.IsNyquistZ(ikz) {
+				continue
+			}
+			if ikx == 0 && ikz == 0 {
+				if s.ownsMean {
+					fr := make([]float64, s.Cfg.Ny)
+					uq := make([]float64, nq)
+					s.embedGReal(fr, s.meanU)
+					s.qt.evalReal(uq, fr, 0)
+					wq := make([]float64, nq)
+					s.embedGReal(fr, s.meanW)
+					s.qt.evalReal(wq, fr, 0)
+					for i := 0; i < nq; i++ {
+						out[0][base+i] = complex(uq[i], 0)
+						out[2][base+i] = complex(wq[i], 0)
+					}
+				}
+				continue
+			}
+			kx, kz := s.G.Kx(ikx), s.G.Kz(ikz)
+			k2 := kx*kx + kz*kz
+			s.embedV(full, s.cv[w])
+			s.qt.eval(vq, full, 0)
+			s.qt.eval(vyq, full, 1)
+			s.embedG(full, s.cw[w])
+			s.qt.eval(omq, full, 0)
+			ikxC := complex(0, kx/k2)
+			ikzC := complex(0, kz/k2)
+			for i := 0; i < nq; i++ {
+				out[0][base+i] = ikxC*vyq[i] - ikzC*omq[i]
+				out[1][base+i] = vq[i]
+				out[2][base+i] = ikzC*vyq[i] + ikxC*omq[i]
+			}
+		}
+	})
+	return out
+}
+
+// products runs the dealiased product pipeline on quadrature-point data,
+// returning the six products in y-pencil layout.
+func (s *Solver) products() [][]complex128 {
+	d := s.D
+	g := s.G
+	nz, mz := g.Nz, g.MZ()
+	nkx, mx := g.NKx(), g.MX()
+
+	vel := s.velocityAtQuad()
+	zp := d.YtoZ(nil, vel)
+
+	kxloc := s.kxhi - s.kxlo
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	linesZ := kxloc * nyLoc
+	zphys := make([][]complex128, 3)
+	for f := 0; f < 3; f++ {
+		zphys[f] = make([]complex128, linesZ*mz)
+		src, dst := zp[f], zphys[f]
+		s.pool().ForBlocks(linesZ, func(lo, hi int) {
+			scratch := make([]complex128, mz)
+			for l := lo; l < hi; l++ {
+				s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], src[l*nz:(l+1)*nz], scratch)
+			}
+		})
+	}
+
+	xp := d.ZtoX(nil, zphys, mz)
+	zxl, zxh := d.ZRangeX(mz)
+	nzLoc := zxh - zxl
+	linesX := nyLoc * nzLoc
+	prodX := make([][]complex128, nProducts)
+	for f := range prodX {
+		prodX[f] = make([]complex128, linesX*nkx)
+	}
+	s.pool().ForBlocks(linesX, func(lo, hi int) {
+		pu := make([]float64, mx)
+		pv := make([]float64, mx)
+		pw := make([]float64, mx)
+		pp := make([]float64, mx)
+		scratch := make([]complex128, mx/2+1)
+		for l := lo; l < hi; l++ {
+			s.padX.InversePaddedScratch(pu, xp[0][l*nkx:(l+1)*nkx], scratch)
+			s.padX.InversePaddedScratch(pv, xp[1][l*nkx:(l+1)*nkx], scratch)
+			s.padX.InversePaddedScratch(pw, xp[2][l*nkx:(l+1)*nkx], scratch)
+			forward := func(f int, a, b []float64) {
+				for i := 0; i < mx; i++ {
+					pp[i] = a[i] * b[i]
+				}
+				s.padX.ForwardTruncatedScratch(prodX[f][l*nkx:(l+1)*nkx], pp, scratch)
+			}
+			forward(pUU, pu, pu)
+			forward(pUV, pu, pv)
+			forward(pUW, pu, pw)
+			forward(pVV, pv, pv)
+			forward(pVW, pv, pw)
+			forward(pWW, pw, pw)
+		}
+	})
+
+	zp2 := d.XtoZ(nil, prodX, mz)
+	zspec := make([][]complex128, nProducts)
+	for f := range zspec {
+		zspec[f] = make([]complex128, linesZ*nz)
+		src, dst := zp2[f], zspec[f]
+		s.pool().ForBlocks(linesZ, func(lo, hi int) {
+			scratch := make([]complex128, mz)
+			for l := lo; l < hi; l++ {
+				s.padZ.ForwardTruncatedScratch(dst[l*nz:(l+1)*nz], src[l*mz:(l+1)*mz], scratch)
+			}
+		})
+	}
+	return d.ZtoY(nil, zspec)
+}
+
+// nonlinearProjections evaluates the Galerkin-projected nonlinear terms.
+func (s *Solver) nonlinearProjections() (fhg, fhv [][]complex128, meanFx, meanFz []float64) {
+	nq := s.qt.NumQuad()
+	n := s.Cfg.Ny
+	fhg = make([][]complex128, s.nw)
+	fhv = make([][]complex128, s.nw)
+	for w := range fhg {
+		fhg[w] = make([]complex128, s.ng)
+		fhv[w] = make([]complex128, s.nv)
+	}
+	if s.ownsMean {
+		meanFx = make([]float64, s.ng)
+		meanFz = make([]float64, s.ng)
+	}
+	if s.Cfg.DisableNonlinear {
+		return fhg, fhv, meanFx, meanFz
+	}
+	prods := s.products()
+
+	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
+		sv := make([]complex128, nq)
+		sg := make([]complex128, nq)
+		tv := make([]complex128, nq)
+		g0 := make([]complex128, nq)
+		fullG := make([]complex128, n)
+		fullV := make([]complex128, n)
+		for w := wlo; w < whi; w++ {
+			ikx, ikz := s.modeOf(w)
+			if s.G.IsNyquistZ(ikz) || (ikx == 0 && ikz == 0) {
+				continue
+			}
+			kx, kz := s.G.Kx(ikx), s.G.Kz(ikz)
+			k2 := kx*kx + kz*kz
+			base := w * nq
+			ikxC := complex(0, kx)
+			ikzC := complex(0, kz)
+			for i := 0; i < nq; i++ {
+				uv := prods[pUV][base+i]
+				vw := prods[pVW][base+i]
+				sv[i] = ikxC*uv + ikzC*vw
+				sg[i] = ikzC*uv - ikxC*vw
+				tv[i] = complex(kx*kx, 0)*prods[pUU][base+i] +
+					complex(2*kx*kz, 0)*prods[pUW][base+i] +
+					complex(kz*kz, 0)*prods[pWW][base+i]
+				g0[i] = complex(kx*kz, 0)*(prods[pUU][base+i]-prods[pWW][base+i]) -
+					complex(kx*kx-kz*kz, 0)*prods[pUW][base+i]
+			}
+			for i := range fullG {
+				fullG[i] = 0
+				fullV[i] = 0
+			}
+			s.qt.project(fullG, g0, 0, 1)
+			s.qt.project(fullG, sg, 1, 1)
+			copy(fhg[w], fullG[1:n-1])
+
+			ck2 := complex(k2, 0)
+			s.qt.project(fullV, sv, 0, ck2)
+			for i := 0; i < nq; i++ {
+				g0[i] = prods[pVV][base+i] // reuse buffer for vv
+			}
+			s.qt.project(fullV, g0, 1, -ck2)
+			s.qt.project(fullV, tv, 1, 1)
+			s.qt.project(fullV, sv, 2, 1)
+			copy(fhv[w], fullV[2:n-2])
+		}
+	})
+
+	if s.ownsMean {
+		w00 := s.widx(0, 0)
+		base := w00 * nq
+		uv := make([]float64, nq)
+		vw := make([]float64, nq)
+		for i := 0; i < nq; i++ {
+			uv[i] = real(prods[pUV][base+i])
+			vw[i] = real(prods[pVW][base+i])
+		}
+		fullX := make([]float64, n)
+		fullZ := make([]float64, n)
+		// int B_i (-d(uv)/dy) = +int B_i' uv for B_i vanishing at the walls.
+		s.qt.projectReal(fullX, uv, 1, 1)
+		s.qt.projectReal(fullZ, vw, 1, 1)
+		copy(meanFx, fullX[1:n-1])
+		copy(meanFz, fullZ[1:n-1])
+	}
+	return fhg, fhv, meanFx, meanFz
+}

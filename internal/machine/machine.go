@@ -1,0 +1,149 @@
+// Package machine is the performance-model substrate that stands in for the
+// paper's benchmark platforms (Mira, Lonestar, Stampede, Blue Waters). The
+// petascale tables of the paper (5, 6, 9, 10, 11) report times at core
+// counts that cannot physically be run here, so the model executes the same
+// operation schedule as the real code — the per-substep transpose traffic on
+// the CommA/CommB sub-communicators, the batched FFT work, the
+// memory-bandwidth-bound Navier-Stokes advance and data reordering — against
+// analytic machine descriptions. Parameters are calibrated against the
+// paper's measurements; EXPERIMENTS.md records model vs paper for every
+// table, and the tests in this package assert the qualitative shape (who
+// wins, where efficiency falls, where crossovers sit), which is produced by
+// the schedule structure rather than the calibration.
+package machine
+
+import "math"
+
+// Machine describes one benchmark platform.
+type Machine struct {
+	Name             string
+	CoresPerNode     int
+	HWThreadsPerCore int
+	ClockHz          float64
+	PeakFlopsCore    float64 // theoretical peak flops per core
+
+	// Effective kernel rates (flops/s per core), calibrated: spectral
+	// kernels run far below peak because they are memory bound.
+	FFTRate float64
+	NSRate  float64
+
+	// Memory system: node STREAM bandwidth, the core-count scale of its
+	// saturation (Table 4 behaviour), and node memory capacity.
+	MemBWNode    float64
+	MemSatCores  float64
+	NodeMemBytes float64
+
+	// On-node parallel efficiency of a single hybrid task spanning the
+	// node (sockets, NUMA), and the extra throughput from using all
+	// hardware threads (BG/Q's four-way SMT gives ~2x, Table 3).
+	ThreadEff    float64
+	HWThreadGain float64
+
+	// Network: per-message overhead, injection bandwidth per node, and the
+	// topology contention law share(nodes) = min(1, (TopoBase/nodes)^TopoExp).
+	NetLatency float64
+	NetBWNode  float64
+	TopoBase   float64
+	TopoExp    float64
+	// Bandwidth ramp: messages below MsgRampBytes do not reach full
+	// injection bandwidth (eager/rendezvous and packetization effects).
+	MsgRampBytes float64
+	// MPISatShare is the network-share ceiling when every core runs its own
+	// rank: the flood of small messages keeps the fabric saturated at this
+	// fraction of injection bandwidth regardless of job size (which is why
+	// the paper's MPI-per-core transposes scale almost perfectly while the
+	// hybrid mode starts faster and degrades toward the same floor).
+	MPISatShare float64
+}
+
+// MemBW returns the aggregate memory bandwidth delivered when c cores
+// stream concurrently: a saturating exponential normalized to MemBWNode at
+// the full node, reproducing the contention curve of Table 4.
+func (m Machine) MemBW(c int) float64 {
+	if c <= 0 {
+		return 0
+	}
+	full := 1 - math.Exp(-float64(m.CoresPerNode)/m.MemSatCores)
+	frac := 1 - math.Exp(-float64(c)/m.MemSatCores)
+	return m.MemBWNode * frac / full
+}
+
+// TopoShare returns the fraction of injection bandwidth usable during a
+// machine-wide alltoall on the given number of nodes.
+func (m Machine) TopoShare(nodes int) float64 {
+	if nodes <= 1 || float64(nodes) <= m.TopoBase {
+		return 1
+	}
+	return math.Pow(m.TopoBase/float64(nodes), m.TopoExp)
+}
+
+// msgRamp returns the bandwidth efficiency of messages of the given size.
+func (m Machine) msgRamp(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0.01
+	}
+	return bytes / (bytes + m.MsgRampBytes)
+}
+
+// The four benchmark platforms of paper §3, with hardware figures from the
+// paper and public system documentation; starred fields are calibrated to
+// the paper's measurements.
+var (
+	// Mira: BlueGene/Q, 16 cores/node at 1.6 GHz (12.8 GF/core peak), 4
+	// hardware threads per core, 16 GB/node, 5D torus.
+	Mira = Machine{
+		Name: "Mira", CoresPerNode: 16, HWThreadsPerCore: 4,
+		ClockHz: 1.6e9, PeakFlopsCore: 12.8e9,
+		FFTRate: 0.70e9, NSRate: 0.56e9,
+		MemBWNode: 28.8e9, MemSatCores: 6.5, NodeMemBytes: 16e9,
+		ThreadEff: 0.97, HWThreadGain: 2.05,
+		NetLatency: 0.1e-6, NetBWNode: 1.53e9,
+		TopoBase: 2048, TopoExp: 0.22, MsgRampBytes: 128,
+		MPISatShare: 0.335,
+	}
+	// Lonestar: dual-socket 6-core Westmere at 3.3 GHz, IB QDR fat tree.
+	Lonestar = Machine{
+		Name: "Lonestar", CoresPerNode: 12, HWThreadsPerCore: 1,
+		ClockHz: 3.3e9, PeakFlopsCore: 13.2e9,
+		FFTRate: 3.7e9, NSRate: 3.1e9,
+		MemBWNode: 42e9, MemSatCores: 5.0, NodeMemBytes: 24e9,
+		ThreadEff: 0.22, HWThreadGain: 1.0,
+		NetLatency: 1.8e-6, NetBWNode: 2.5e9,
+		TopoBase: 16, TopoExp: 0.05, MsgRampBytes: 32768,
+		MPISatShare: 0.62,
+	}
+	// Stampede: dual-socket 8-core Sandy Bridge at 2.7 GHz, IB FDR.
+	Stampede = Machine{
+		Name: "Stampede", CoresPerNode: 16, HWThreadsPerCore: 1,
+		ClockHz: 2.7e9, PeakFlopsCore: 21.6e9,
+		FFTRate: 4.3e9, NSRate: 3.7e9,
+		MemBWNode: 51e9, MemSatCores: 6.0, NodeMemBytes: 32e9,
+		ThreadEff: 0.23, HWThreadGain: 1.0,
+		NetLatency: 1.5e-6, NetBWNode: 4.3e9,
+		TopoBase: 24, TopoExp: 0.42, MsgRampBytes: 16384,
+		MPISatShare: 0.70,
+	}
+	// Blue Waters: Cray XE6, AMD Interlagos, Gemini 3D torus whose
+	// bisection degrades alltoall sharply (the paper's 24% efficiency).
+	BlueWaters = Machine{
+		Name: "BlueWaters", CoresPerNode: 16, HWThreadsPerCore: 1,
+		ClockHz: 2.3e9, PeakFlopsCore: 9.2e9,
+		FFTRate: 2.0e9, NSRate: 1.8e9,
+		MemBWNode: 52e9, MemSatCores: 6.0, NodeMemBytes: 64e9,
+		ThreadEff: 0.70, HWThreadGain: 1.0,
+		NetLatency: 1.6e-6, NetBWNode: 1.7e9,
+		TopoBase: 8, TopoExp: 0.41, MsgRampBytes: 8192,
+		MPISatShare: 0.80,
+	}
+)
+
+// ByName returns the machine with the given name (case-sensitive) and true,
+// or a zero Machine and false.
+func ByName(name string) (Machine, bool) {
+	for _, m := range []Machine{Mira, Lonestar, Stampede, BlueWaters} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}

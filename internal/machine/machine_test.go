@@ -1,0 +1,366 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The tests below assert the qualitative shape of the paper's results: who
+// wins, where efficiency degrades, where crossovers sit. Absolute values
+// are compared against the paper in EXPERIMENTS.md; here we require model
+// totals within a factor band of the measurements, and the orderings exactly.
+
+func TestMemBWSaturates(t *testing.T) {
+	m := Mira
+	if m.MemBW(1) >= m.MemBW(4) || m.MemBW(4) >= m.MemBW(16) {
+		t.Error("memory bandwidth must grow with cores")
+	}
+	if m.MemBW(16) != m.MemBWNode {
+		t.Errorf("full node BW %g != %g", m.MemBW(16), m.MemBWNode)
+	}
+	// Saturation: the last doubling gains far less than the first.
+	g1 := m.MemBW(2) / m.MemBW(1)
+	g2 := m.MemBW(16) / m.MemBW(8)
+	if g2 >= g1 {
+		t.Errorf("no saturation: gains %g then %g", g1, g2)
+	}
+}
+
+func TestTopoShareMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, m := range []Machine{Mira, Lonestar, Stampede, BlueWaters} {
+			prev := 2.0
+			for _, n := range []int{1, 16, 256, 4096, 65536} {
+				s := m.TopoShare(n)
+				if s <= 0 || s > 1 || s > prev {
+					return false
+				}
+				prev = s
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable5NodeLocalCommBFastest(t *testing.T) {
+	rows := Table5()
+	var prev float64
+	sys := ""
+	for _, r := range rows {
+		if r.System != sys {
+			sys = r.System
+			prev = 0
+		}
+		// Paper ordering: times increase as CommB grows beyond the node.
+		if prev > 0 && r.Model < prev*0.999 {
+			t.Errorf("%s %dx%d: model %g not >= previous %g", r.System, r.PA, r.PB, r.Model, prev)
+		}
+		prev = r.Model
+		// Mira absolutes track the paper closely; the Lonestar rows of
+		// Table 5 are ~4x slower than the same machine's Table 9 transpose
+		// throughput implies (see EXPERIMENTS.md), so only the ordering is
+		// asserted there and the band is wide.
+		band := 4.0
+		if r.System == "Lonestar" {
+			band = 8
+		}
+		if r.Model < r.Paper/band || r.Model > r.Paper*band {
+			t.Errorf("%s %dx%d: model %g too far from paper %g", r.System, r.PA, r.PB, r.Model, r.Paper)
+		}
+	}
+}
+
+func TestTable6CustomWinsOnMiraAlways(t *testing.T) {
+	for _, r := range Table6() {
+		if r.System != "Mira" || r.ModelP3DFFT == 0 || r.ModelCustom == 0 {
+			continue
+		}
+		if r.ModelRatio < 1.15 {
+			t.Errorf("Mira %d cores: custom should win clearly, ratio %g", r.Cores, r.ModelRatio)
+		}
+	}
+}
+
+func TestTable6CrossoverOnX86(t *testing.T) {
+	// On Lonestar and Stampede, P3DFFT wins at small core counts and the
+	// customized kernel wins at the largest (paper Table 6).
+	check := func(system string, smallCores, largeCores int) {
+		t.Helper()
+		var small, large float64
+		for _, r := range Table6() {
+			if r.System != system || r.ModelRatio == 0 {
+				continue
+			}
+			if r.Cores == smallCores {
+				small = r.ModelRatio
+			}
+			if r.Cores == largeCores {
+				large = r.ModelRatio
+			}
+		}
+		if small == 0 || large == 0 {
+			t.Fatalf("%s: missing rows", system)
+		}
+		if small >= 1 {
+			t.Errorf("%s at %d cores: P3DFFT should win (ratio %g < 1)", system, smallCores, small)
+		}
+		if large <= 1 {
+			t.Errorf("%s at %d cores: custom should win (ratio %g > 1)", system, largeCores, large)
+		}
+	}
+	check("Lonestar", 24, 1536)
+	check("Stampede", 512, 4096)
+}
+
+func TestTable6MemoryNA(t *testing.T) {
+	// P3DFFT must be flagged N/A on the big Mira grid at 65K and 131K
+	// cores (3x buffers exceed node memory), matching the paper.
+	for _, r := range Table6() {
+		if r.System != "Mira" || r.Cores < 65536 {
+			continue
+		}
+		wantNA := r.Cores <= 131072
+		gotNA := r.ModelP3DFFT == 0
+		if wantNA != gotNA {
+			t.Errorf("Mira %d cores: p3dfft N/A = %v, want %v", r.Cores, gotNA, wantNA)
+		}
+		if r.ModelCustom == 0 {
+			t.Errorf("Mira %d cores: custom must fit in memory", r.Cores)
+		}
+	}
+}
+
+func TestTable9MiraStrongScalingBands(t *testing.T) {
+	rows := Table9()
+	// MPI mode: strong-scaling efficiency relative to 131072 cores stays
+	// high (paper: 97% at 786K). Hybrid: degrades to ~80%.
+	var mpiBase, hybBase TimestepRow
+	for _, r := range rows {
+		if r.System != "Mira" {
+			continue
+		}
+		if r.Mode == ModeMPI && r.Cores == 131072 {
+			mpiBase = r
+		}
+		if r.Mode == ModeHybrid && r.Cores == 65536 {
+			hybBase = r
+		}
+	}
+	for _, r := range rows {
+		if r.System != "Mira" {
+			continue
+		}
+		var eff float64
+		if r.Mode == ModeMPI {
+			eff = mpiBase.Model.Total() * float64(mpiBase.Cores) / (r.Model.Total() * float64(r.Cores))
+		} else {
+			eff = hybBase.Model.Total() * float64(hybBase.Cores) / (r.Model.Total() * float64(r.Cores))
+		}
+		if eff < 0.70 || eff > 1.3 {
+			t.Errorf("Mira %s %d: strong-scaling efficiency %.2f out of band", r.Mode, r.Cores, eff)
+		}
+		// Totals within 35% of the paper.
+		if rel := math.Abs(r.Model.Total()-r.Paper.Total()) / r.Paper.Total(); rel > 0.35 {
+			t.Errorf("Mira %s %d: model total %.1f vs paper %.1f (%.0f%%)",
+				r.Mode, r.Cores, r.Model.Total(), r.Paper.Total(), rel*100)
+		}
+	}
+}
+
+func TestTable9TransposeDominatesOnBlueWaters(t *testing.T) {
+	for _, r := range Table9() {
+		if r.System != "BlueWaters" {
+			continue
+		}
+		frac := r.Model.Transpose / r.Model.Total()
+		if frac < 0.70 {
+			t.Errorf("BlueWaters %d: transpose fraction %.2f, paper reports 80-93%%", r.Cores, frac)
+		}
+	}
+	// And its transpose scales far worse than Lonestar's.
+	bw := map[int]float64{}
+	for _, r := range Table9() {
+		if r.System == "BlueWaters" {
+			bw[r.Cores] = r.Model.Transpose
+		}
+	}
+	effBW := bw[2048] * 2048 / (bw[16384] * 16384)
+	if effBW > 0.5 {
+		t.Errorf("BlueWaters transpose efficiency %.2f over 8x cores; paper shows ~23%%", effBW)
+	}
+}
+
+func TestTable10WeakScalingShape(t *testing.T) {
+	// Weak scaling: N-S advance stays flat; FFT degrades with Nx (cache);
+	// transpose degrades moderately.
+	var miraHyb []TimestepRow
+	for _, r := range Table10() {
+		if r.System == "Mira" && r.Mode == ModeHybrid {
+			miraHyb = append(miraHyb, r)
+		}
+		if rel := math.Abs(r.Model.Total()-r.Paper.Total()) / r.Paper.Total(); rel > 0.40 {
+			t.Errorf("%s %s %d: weak model total %.1f vs paper %.1f", r.System, r.Mode, r.Cores, r.Model.Total(), r.Paper.Total())
+		}
+	}
+	first, last := miraHyb[0], miraHyb[len(miraHyb)-1]
+	if math.Abs(first.Model.Advance-last.Model.Advance)/first.Model.Advance > 0.05 {
+		t.Errorf("N-S advance should be flat under weak scaling: %.2f -> %.2f", first.Model.Advance, last.Model.Advance)
+	}
+	if last.Model.FFT <= first.Model.FFT*1.3 {
+		t.Errorf("FFT should degrade under weak scaling: %.2f -> %.2f", first.Model.FFT, last.Model.FFT)
+	}
+}
+
+func TestTable11HybridAdvantageShrinks(t *testing.T) {
+	var strong, weak []Table11Row
+	for _, r := range Table11() {
+		if r.ModelRatio <= 0 {
+			continue
+		}
+		if r.Weak {
+			weak = append(weak, r)
+		} else {
+			strong = append(strong, r)
+		}
+	}
+	if len(strong) < 3 || len(weak) < 3 {
+		t.Fatal("missing comparison rows")
+	}
+	// Hybrid is faster wherever both run (paper: ratios 1.0-1.21), by a
+	// clear margin at the smallest shared core count.
+	for _, r := range append(strong, weak...) {
+		if r.ModelRatio < 0.98 || r.ModelRatio > 1.35 {
+			t.Errorf("cores %d weak=%v: MPI/hybrid ratio %g out of the paper's band", r.Cores, r.Weak, r.ModelRatio)
+		}
+	}
+	if strong[0].ModelRatio < 1.10 {
+		t.Errorf("at %d cores hybrid should win clearly: ratio %g", strong[0].Cores, strong[0].ModelRatio)
+	}
+	// Under weak scaling the advantage converges toward parity at scale,
+	// as both modes saturate the interconnect (paper §5.3).
+	lastW := weak[len(weak)-1].ModelRatio
+	if lastW > weak[0].ModelRatio-0.05 || lastW > 1.08 {
+		t.Errorf("weak-scaling MPI/hybrid ratio should approach 1: first %g last %g", weak[0].ModelRatio, lastW)
+	}
+}
+
+func TestTable2Characterization(t *testing.T) {
+	rows := Table2(Mira)
+	var simd, noSimd Table2Row
+	for _, r := range rows {
+		if r.SIMD {
+			simd = r
+		} else {
+			noSimd = r
+		}
+	}
+	// Paper: no-SIMD ~1.16 GF (9% of peak); SIMD raises GFlops but also
+	// raises elapsed time.
+	if noSimd.GFlops < 0.9 || noSimd.GFlops > 1.5 {
+		t.Errorf("no-SIMD GFlops %g, paper 1.16", noSimd.GFlops)
+	}
+	if noSimd.FracPeak > 0.12 {
+		t.Errorf("no-SIMD fraction of peak %g, paper 0.09", noSimd.FracPeak)
+	}
+	if simd.GFlops <= noSimd.GFlops {
+		t.Error("SIMD must report more flops")
+	}
+	if simd.Elapsed <= noSimd.Elapsed {
+		t.Error("SIMD must be slower despite more flops (the paper's finding)")
+	}
+	if noSimd.DDRBytesCycle < 14 || noSimd.DDRBytesCycle > 18 {
+		t.Errorf("DDR traffic %g B/cycle, paper 16.8", noSimd.DDRBytesCycle)
+	}
+}
+
+func TestTable3HardwareThreadGain(t *testing.T) {
+	// Mira: 16 cores -> 64 threads gives ~2x (paper: 32.6/34.5 speedup).
+	s16 := Table3Speedup(Mira, 16)
+	s32 := Table3Speedup(Mira, 32)
+	s64 := Table3Speedup(Mira, 64)
+	if s16 != 16 {
+		t.Errorf("16 threads speedup %g", s16)
+	}
+	if s32 < 24 || s32 > 30 {
+		t.Errorf("32 threads speedup %g, paper ~27.6", s32)
+	}
+	if s64 < 30 || s64 > 36 {
+		t.Errorf("64 threads speedup %g, paper ~32.6-34.5", s64)
+	}
+}
+
+func TestTable4ReorderSaturation(t *testing.T) {
+	// Paper: speedup 1.98, 3.90, 5.54, 6.24 at 2, 4, 8, 16 threads, then
+	// DECREASING with extra hardware threads.
+	s2 := Table4Speedup(Mira, 2)
+	s8 := Table4Speedup(Mira, 8)
+	s16 := Table4Speedup(Mira, 16)
+	s64 := Table4Speedup(Mira, 64)
+	if s2 < 1.7 || s2 > 2.0 {
+		t.Errorf("2-thread reorder speedup %g, paper 1.98", s2)
+	}
+	if s8 < 4.4 || s8 > 6.2 {
+		t.Errorf("8-thread reorder speedup %g, paper 5.54", s8)
+	}
+	if s16 < 5.5 || s16 > 7.2 {
+		t.Errorf("16-thread reorder speedup %g, paper 6.24", s16)
+	}
+	if s64 >= s16 {
+		t.Errorf("hardware threads must not help reorder: %g >= %g", s64, s16)
+	}
+	// Traffic approaches but does not exceed the 18 B/cycle STREAM limit.
+	tr := Table4Traffic(Mira, 16)
+	if tr < 14 || tr > 18.2 {
+		t.Errorf("16-thread traffic %g B/cycle, paper 16.1", tr)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Mira"); !ok {
+		t.Error("Mira not found")
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Error("nonsense found")
+	}
+}
+
+func TestTimestepMonotoneInCores(t *testing.T) {
+	f := func(seed int64) bool {
+		prev := math.Inf(1)
+		for _, c := range []int{16384, 32768, 65536, 131072} {
+			b := TimestepTime(Mira, ModeHybrid, 4608, 1536, 12288, c)
+			if b.Total() >= prev || b.Total() <= 0 {
+				return false
+			}
+			prev = b.Total()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregateFlopsSection53: the paper reports 271 TFlops sustained
+// (about 2.7% of peak) and ~906 TFlops (9.0%) for on-node computation on
+// the full 48-rack strong-scaling problem.
+func TestAggregateFlopsSection53(t *testing.T) {
+	nx, ny, nz := Table7Grid("Mira")
+	rep := AggregateFlops(Mira, ModeMPI, nx, ny, nz, 786432)
+	if rep.Sustained < 200e12 || rep.Sustained > 400e12 {
+		t.Errorf("sustained %g TF, paper 271 TF", rep.Sustained/1e12)
+	}
+	if rep.SustainedFrac < 0.02 || rep.SustainedFrac > 0.04 {
+		t.Errorf("sustained fraction %g, paper 0.027", rep.SustainedFrac)
+	}
+	if rep.OnNodeFrac < 0.07 || rep.OnNodeFrac > 0.11 {
+		t.Errorf("on-node fraction %g, paper 0.090", rep.OnNodeFrac)
+	}
+	if rep.OnNode <= rep.Sustained {
+		t.Error("on-node rate must exceed sustained rate")
+	}
+}

@@ -1,0 +1,198 @@
+package machine
+
+// Reference values transcribed from the paper's tables, used by the
+// benchmark harness to print paper-vs-model comparisons and by the tests to
+// anchor the calibration. Times are seconds.
+
+// Table5Case is one row of Table 5 (global MPI communication performance).
+type Table5Case struct {
+	System   string
+	PA, PB   int
+	PaperSec float64
+}
+
+// Table5Paper reproduces the configurations of Table 5.
+var Table5Paper = []Table5Case{
+	{"Mira", 512, 16, 0.386},
+	{"Mira", 256, 32, 0.462},
+	{"Mira", 128, 64, 0.593},
+	{"Mira", 64, 128, 0.609},
+	{"Mira", 32, 256, 0.614},
+	{"Mira", 16, 512, 0.626},
+	{"Lonestar", 32, 12, 2.966},
+	{"Lonestar", 16, 24, 3.317},
+	{"Lonestar", 8, 48, 3.669},
+	{"Lonestar", 4, 96, 3.775},
+}
+
+// Table5Grid returns the benchmark grid used on each system in Table 5.
+func Table5Grid(system string) (nx, ny, nz int) {
+	if system == "Lonestar" {
+		return 1536, 384, 1024
+	}
+	return 2048, 1024, 1024
+}
+
+// Table6Case is one row of Table 6 (parallel FFT strong scaling).
+type Table6Case struct {
+	System      string
+	Grid        [3]int // Nx, Ny, Nz
+	Cores       int
+	PaperP3DFFT float64 // 0 => N/A (inadequate memory)
+	PaperCustom float64
+}
+
+// Table6Paper reproduces Table 6's configurations and measurements.
+var Table6Paper = []Table6Case{
+	{"Mira", [3]int{2048, 1024, 1024}, 128, 11.5, 5.38},
+	{"Mira", [3]int{2048, 1024, 1024}, 256, 5.88, 2.78},
+	{"Mira", [3]int{2048, 1024, 1024}, 512, 2.95, 1.18},
+	{"Mira", [3]int{2048, 1024, 1024}, 1024, 1.46, 0.580},
+	{"Mira", [3]int{2048, 1024, 1024}, 2048, 0.724, 0.287},
+	{"Mira", [3]int{2048, 1024, 1024}, 4096, 0.360, 0.139},
+	{"Mira", [3]int{2048, 1024, 1024}, 8192, 0.179, 0.068},
+	{"Mira", [3]int{18432, 12288, 12288}, 65536, 0, 30.5},
+	{"Mira", [3]int{18432, 12288, 12288}, 131072, 0, 16.2},
+	{"Mira", [3]int{18432, 12288, 12288}, 262144, 12.4, 8.51},
+	{"Mira", [3]int{18432, 12288, 12288}, 393216, 10.1, 5.85},
+	{"Mira", [3]int{18432, 12288, 12288}, 524288, 6.90, 4.04},
+	{"Mira", [3]int{18432, 12288, 12288}, 786432, 4.55, 3.12},
+	{"Lonestar", [3]int{768, 768, 768}, 12, 0, 6.00},
+	{"Lonestar", [3]int{768, 768, 768}, 24, 2.67, 3.63},
+	{"Lonestar", [3]int{768, 768, 768}, 48, 1.57, 2.13},
+	{"Lonestar", [3]int{768, 768, 768}, 96, 0.873, 1.12},
+	{"Lonestar", [3]int{768, 768, 768}, 192, 0.547, 0.580},
+	{"Lonestar", [3]int{768, 768, 768}, 384, 0.294, 0.297},
+	{"Lonestar", [3]int{768, 768, 768}, 768, 0.212, 0.172},
+	{"Lonestar", [3]int{768, 768, 768}, 1536, 0.193, 0.111},
+	{"Stampede", [3]int{1024, 1024, 1024}, 16, 0, 6.88},
+	{"Stampede", [3]int{1024, 1024, 1024}, 32, 0, 4.42},
+	{"Stampede", [3]int{1024, 1024, 1024}, 64, 2.16, 2.51},
+	{"Stampede", [3]int{1024, 1024, 1024}, 128, 1.32, 1.39},
+	{"Stampede", [3]int{1024, 1024, 1024}, 256, 0.676, 0.718},
+	{"Stampede", [3]int{1024, 1024, 1024}, 512, 0.421, 0.377},
+	{"Stampede", [3]int{1024, 1024, 1024}, 1024, 0.296, 0.199},
+	{"Stampede", [3]int{1024, 1024, 1024}, 2048, 0.201, 0.113},
+	{"Stampede", [3]int{1024, 1024, 1024}, 4096, 0.194, 0.0636},
+}
+
+// Table9Case is one row of Table 9 (strong scaling of a timestep).
+type Table9Case struct {
+	System                   string
+	Mode                     Mode
+	Cores                    int
+	PaperTranspose, PaperFFT float64
+	PaperAdvance, PaperTotal float64
+}
+
+// Table7Grid returns the strong-scaling grid of Table 7 per system.
+func Table7Grid(system string) (nx, ny, nz int) {
+	switch system {
+	case "Mira":
+		return 18432, 1536, 12288
+	case "Lonestar":
+		return 1024, 384, 1536
+	case "Stampede":
+		return 2048, 512, 4096
+	default: // Blue Waters
+		return 2048, 1024, 2048
+	}
+}
+
+// Table9Paper reproduces Table 9.
+var Table9Paper = []Table9Case{
+	{"Mira", ModeMPI, 131072, 26.9, 7.32, 6.98, 41.2},
+	{"Mira", ModeMPI, 262144, 13.6, 4.02, 3.44, 21.1},
+	{"Mira", ModeMPI, 393216, 8.92, 2.61, 2.28, 13.8},
+	{"Mira", ModeMPI, 524288, 6.81, 2.09, 1.75, 10.6},
+	{"Mira", ModeMPI, 786432, 4.50, 1.36, 1.21, 7.06},
+	{"Mira", ModeHybrid, 65536, 39.8, 13.8, 13.6, 67.2},
+	{"Mira", ModeHybrid, 131072, 20.9, 7.03, 6.76, 34.7},
+	{"Mira", ModeHybrid, 262144, 11.8, 3.61, 3.34, 18.7},
+	{"Mira", ModeHybrid, 393216, 8.83, 2.43, 2.22, 13.5},
+	{"Mira", ModeHybrid, 524288, 5.73, 1.89, 1.67, 9.29},
+	{"Mira", ModeHybrid, 786432, 4.70, 1.27, 1.11, 7.09},
+	{"Lonestar", ModeMPI, 192, 9.53, 2.06, 3.00, 14.6},
+	{"Lonestar", ModeMPI, 384, 4.70, 1.04, 1.50, 7.24},
+	{"Lonestar", ModeMPI, 768, 2.38, 0.51, 0.75, 3.65},
+	{"Lonestar", ModeMPI, 1536, 1.29, 0.26, 0.37, 1.93},
+	{"Stampede", ModeMPI, 512, 18.9, 5.30, 6.85, 31.0},
+	{"Stampede", ModeMPI, 1024, 10.9, 2.68, 3.40, 17.0},
+	{"Stampede", ModeMPI, 2048, 7.60, 1.36, 1.72, 10.7},
+	{"Stampede", ModeMPI, 4096, 3.83, 0.67, 0.84, 5.35},
+	{"BlueWaters", ModeMPI, 2048, 17.9, 2.73, 3.53, 24.2},
+	{"BlueWaters", ModeMPI, 4096, 16.2, 1.37, 1.76, 19.4},
+	{"BlueWaters", ModeMPI, 8192, 16.2, 0.650, 0.880, 17.7},
+	{"BlueWaters", ModeMPI, 16384, 9.88, 0.356, 0.440, 10.7},
+}
+
+// Table10Case is one row of Table 10 (weak scaling of a timestep): Nx
+// varies with the core count, Ny and Nz fixed per system (Table 8).
+type Table10Case struct {
+	System                   string
+	Mode                     Mode
+	Cores, Nx                int
+	PaperTranspose, PaperFFT float64
+	PaperAdvance, PaperTotal float64
+}
+
+// Table8Fixed returns the fixed Ny, Nz of the weak-scaling grids.
+func Table8Fixed(system string) (ny, nz int) {
+	switch system {
+	case "Mira":
+		return 1536, 12288
+	case "Lonestar":
+		return 384, 1536
+	case "Stampede":
+		return 512, 4096
+	default:
+		return 1024, 2048
+	}
+}
+
+// Table10Paper reproduces Table 10.
+var Table10Paper = []Table10Case{
+	{"Mira", ModeMPI, 65536, 4608, 9.87, 3.30, 3.46, 16.6},
+	{"Mira", ModeMPI, 131072, 9216, 13.6, 3.52, 3.45, 20.6},
+	{"Mira", ModeMPI, 262144, 18432, 13.6, 4.02, 3.44, 21.1},
+	{"Mira", ModeMPI, 393216, 27648, 16.0, 4.41, 3.43, 23.9},
+	{"Mira", ModeMPI, 524288, 36864, 13.5, 5.50, 3.48, 22.5},
+	{"Mira", ModeMPI, 786432, 55296, 13.7, 7.28, 3.50, 24.5},
+	{"Mira", ModeHybrid, 65536, 4608, 9.83, 3.17, 3.34, 16.3},
+	{"Mira", ModeHybrid, 131072, 9216, 10.3, 3.36, 3.34, 17.0},
+	{"Mira", ModeHybrid, 262144, 18432, 11.8, 3.61, 3.34, 18.7},
+	{"Mira", ModeHybrid, 393216, 27648, 13.4, 4.14, 3.34, 20.8},
+	{"Mira", ModeHybrid, 524288, 36864, 11.8, 5.08, 3.35, 20.2},
+	{"Mira", ModeHybrid, 786432, 55296, 14.5, 7.60, 3.34, 25.5},
+	{"Lonestar", ModeMPI, 192, 512, 4.73, 1.00, 1.51, 7.24},
+	{"Lonestar", ModeMPI, 384, 1024, 4.70, 1.04, 1.50, 7.24},
+	{"Lonestar", ModeMPI, 768, 2048, 4.70, 1.17, 1.50, 7.37},
+	{"Lonestar", ModeMPI, 1536, 4096, 5.01, 1.31, 1.50, 7.81},
+	{"Stampede", ModeMPI, 512, 512, 4.85, 1.21, 1.71, 7.77},
+	{"Stampede", ModeMPI, 1024, 1024, 5.66, 1.24, 1.75, 8.65},
+	{"Stampede", ModeMPI, 2048, 2048, 6.78, 1.34, 1.73, 9.86},
+	{"Stampede", ModeMPI, 4096, 4096, 7.11, 1.47, 1.73, 10.3},
+	{"BlueWaters", ModeMPI, 2048, 1024, 11.1, 1.26, 1.76, 14.1},
+	{"BlueWaters", ModeMPI, 4096, 2048, 16.2, 1.37, 1.76, 19.4},
+	{"BlueWaters", ModeMPI, 8192, 4096, 20.44, 1.49, 1.76, 23.7},
+	{"BlueWaters", ModeMPI, 16384, 8192, 25.66, 1.70, 1.76, 29.1},
+}
+
+// Table1Paper holds the normalized solver times of Table 1 (relative to the
+// Netlib reference complex banded solver) for the shape comparison.
+type Table1Row struct {
+	Bandwidth                            int
+	LonestarR, LonestarC, LonestarCustom float64
+	MiraESSL, MiraCustom                 float64
+}
+
+// Table1Paper reproduces Table 1.
+var Table1Paper = []Table1Row{
+	{3, 0.67, 0.65, 0.14, 0.81, 0.16},
+	{5, 0.55, 0.61, 0.12, 0.85, 0.19},
+	{7, 0.53, 0.58, 0.11, 0.81, 0.19},
+	{9, 0.53, 0.56, 0.10, 0.84, 0.19},
+	{11, 0.47, 0.56, 0.10, 0.88, 0.19},
+	{13, 0.45, 0.55, 0.11, 0.74, 0.21},
+	{15, 0.41, 0.53, 0.11, 0.71, 0.20},
+}

@@ -1,0 +1,203 @@
+package mpi
+
+import "fmt"
+
+// Barrier blocks until every rank of the communicator has entered it.
+// It uses a dissemination pattern: log2(P) rounds of shifted exchanges.
+func (c *Comm) Barrier() {
+	p := c.size()
+	for k := 1; k < p; k *= 2 {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		c.send(dst, tagBarrier, []byte{1})
+		c.recv(src, tagBarrier)
+	}
+}
+
+// Bcast distributes root's data to every rank over a binomial tree and
+// returns each rank's copy.
+func Bcast[T any](c *Comm, root int, data []T) []T {
+	p := c.size()
+	// Rotate so the root is virtual rank 0.
+	vr := (c.rank - root + p) % p
+	var buf []T
+	k := 1 // first round in which this rank may send
+	if vr == 0 {
+		buf = append([]T(nil), data...)
+	} else {
+		// Parent holds the highest power-of-two bit of vr; this rank joins
+		// the tree in the round after receiving.
+		for k*2 <= vr {
+			k *= 2
+		}
+		parent := vr - k
+		buf = c.recv((parent+root)%p, tagBcast).([]T)
+		k *= 2
+	}
+	for ; vr+k < p; k *= 2 {
+		cp := append([]T(nil), buf...)
+		c.send((vr+k+root)%p, tagBcast, cp)
+	}
+	return buf
+}
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// Number is the element constraint for reductions.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+func reduceInto[T Number](op Op, acc, in []T) {
+	for i := range acc {
+		switch op {
+		case OpSum:
+			acc[i] += in[i]
+		case OpMax:
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		case OpMin:
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	}
+}
+
+// Allreduce combines data element-wise across all ranks and returns the
+// result on every rank (reduce-to-zero then broadcast).
+func Allreduce[T Number](c *Comm, op Op, data []T) []T {
+	acc := append([]T(nil), data...)
+	if c.rank == 0 {
+		for i := 1; i < c.size(); i++ {
+			in := c.recv(AnySource, tagReduce).([]T)
+			reduceInto(op, acc, in)
+		}
+	} else {
+		c.send(0, tagReduce, acc)
+	}
+	return Bcast(c, 0, acc)
+}
+
+// Gather collects equal-length contributions on the root, concatenated in
+// rank order. Non-root ranks receive nil.
+func Gather[T any](c *Comm, root int, data []T) []T {
+	if c.rank != root {
+		cp := append([]T(nil), data...)
+		c.send(root, tagGather, cp)
+		return nil
+	}
+	out := make([]T, len(data)*c.size())
+	copy(out[c.rank*len(data):], data)
+	for i := 0; i < c.size(); i++ {
+		if i == root {
+			continue
+		}
+		in := c.recv(i, tagGather).([]T)
+		copy(out[i*len(data):], in)
+	}
+	return out
+}
+
+// Alltoall performs the complete exchange: rank r's block i (of blockLen
+// elements) is delivered to rank i's slot r. This is the communication
+// pattern at the heart of the global transposes (paper §4.3).
+func Alltoall[T any](c *Comm, data []T, blockLen int) []T {
+	p := c.size()
+	if len(data) != p*blockLen {
+		panic(fmt.Sprintf("mpi: Alltoall data length %d != size %d * block %d", len(data), p, blockLen))
+	}
+	counts := make([]int, p)
+	displs := make([]int, p)
+	for i := range counts {
+		counts[i] = blockLen
+		displs[i] = i * blockLen
+	}
+	return Alltoallv(c, data, counts, displs, counts, displs)
+}
+
+// AlltoallvOverlap is Alltoallv built on nonblocking operations: all sends
+// are posted up front and receives complete in arrival order, the
+// communication/computation-overlap pattern real transpose implementations
+// use. Results are identical to Alltoallv.
+func AlltoallvOverlap[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+	p := c.size()
+	total := 0
+	for i := 0; i < p; i++ {
+		if e := recvDispls[i] + recvCounts[i]; e > total {
+			total = e
+		}
+	}
+	out := make([]T, total)
+	copy(out[recvDispls[c.rank]:recvDispls[c.rank]+recvCounts[c.rank]],
+		data[sendDispls[c.rank]:sendDispls[c.rank]+sendCounts[c.rank]])
+	// Post every receive first (reserved collective tag, in-package), then
+	// fire all sends.
+	reqs := make([]*Request, 0, p-1)
+	srcs := make([]int, 0, p-1)
+	for s := 1; s < p; s++ {
+		src := (c.rank - s + p) % p
+		reqs = append(reqs, c.myBox().postRecv(c.group[src], c.id, tagAlltoall))
+		srcs = append(srcs, src)
+	}
+	for s := 1; s < p; s++ {
+		dst := (c.rank + s) % p
+		blk := append([]T(nil), data[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]]...)
+		c.send(dst, tagAlltoall, blk)
+	}
+	for i, r := range reqs {
+		in := WaitT[T](r)
+		src := srcs[i]
+		if len(in) != recvCounts[src] {
+			panic(fmt.Sprintf("mpi: AlltoallvOverlap rank %d expected %d from %d, got %d",
+				c.rank, recvCounts[src], src, len(in)))
+		}
+		copy(out[recvDispls[src]:], in)
+	}
+	return out
+}
+
+// Alltoallv performs the complete exchange with per-peer counts and
+// displacements, the general form used by the pencil transposes where pencil
+// widths differ by one when the grid does not divide evenly. The result
+// slice is laid out by recvDispls and has length sum over peers of
+// recvDispls[i]+recvCounts[i] (max).
+//
+// The exchange is scheduled pairwise: in step s, rank r exchanges with
+// (r - s mod P) and (r + s mod P), the same linear-shift schedule MPI
+// implementations use to avoid hot spots.
+func Alltoallv[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+	p := c.size()
+	total := 0
+	for i := 0; i < p; i++ {
+		if e := recvDispls[i] + recvCounts[i]; e > total {
+			total = e
+		}
+	}
+	out := make([]T, total)
+	// Self block first (pure copy, no message).
+	copy(out[recvDispls[c.rank]:recvDispls[c.rank]+recvCounts[c.rank]],
+		data[sendDispls[c.rank]:sendDispls[c.rank]+sendCounts[c.rank]])
+	for s := 1; s < p; s++ {
+		dst := (c.rank + s) % p
+		src := (c.rank - s + p) % p
+		blk := append([]T(nil), data[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]]...)
+		c.send(dst, tagAlltoall, blk)
+		in := c.recv(src, tagAlltoall).([]T)
+		if len(in) != recvCounts[src] {
+			panic(fmt.Sprintf("mpi: Alltoallv rank %d expected %d elements from %d, got %d",
+				c.rank, recvCounts[src], src, len(in)))
+		}
+		copy(out[recvDispls[src]:], in)
+	}
+	return out
+}

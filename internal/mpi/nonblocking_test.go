@@ -1,0 +1,116 @@
+package mpi
+
+import "testing"
+
+func TestIsendIrecvBasic(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			r := Isend(c, 1, 4, []float64{3.5, 7})
+			if !r.Test() {
+				t.Error("eager Isend must complete immediately")
+			}
+			r.Wait()
+		} else {
+			r := Irecv[float64](c, 0, 4)
+			got := WaitT[float64](r)
+			if len(got) != 2 || got[0] != 3.5 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+func TestIrecvPostedBeforeSend(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			r := Irecv[int](c, 0, 9) // posted before the message exists
+			c.Barrier()
+			got := WaitT[int](r)
+			if got[0] != 42 {
+				t.Errorf("got %v", got)
+			}
+		} else {
+			c.Barrier()
+			Send(c, 1, 9, []int{42})
+		}
+	})
+}
+
+func TestIrecvFIFOOrdering(t *testing.T) {
+	// Two Irecvs posted in order must receive same-tag messages in send
+	// order regardless of Wait order.
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			r1 := Irecv[int](c, 0, 0)
+			r2 := Irecv[int](c, 0, 0)
+			c.Barrier()
+			b := WaitT[int](r2) // wait in reverse
+			a := WaitT[int](r1)
+			if a[0] != 1 || b[0] != 2 {
+				t.Errorf("post-order matching broken: %v %v", a, b)
+			}
+		} else {
+			c.Barrier()
+			Send(c, 1, 0, []int{1})
+			Send(c, 1, 0, []int{2})
+		}
+	})
+}
+
+func TestIrecvMatchesQueuedMessage(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 3, []int{5})
+			c.Barrier()
+		} else {
+			c.Barrier() // message already queued
+			r := Irecv[int](c, 0, 3)
+			if !r.Test() {
+				t.Error("Irecv against a queued message must complete at post")
+			}
+			if got := WaitT[int](r); got[0] != 5 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+func TestWaitAllExchange(t *testing.T) {
+	const p = 4
+	Run(p, func(c *Comm) {
+		reqs := make([]*Request, 0, p-1)
+		for dst := 0; dst < p; dst++ {
+			if dst != c.Rank() {
+				Isend(c, dst, 1, []int{c.Rank()})
+			}
+		}
+		for src := 0; src < p; src++ {
+			if src != c.Rank() {
+				reqs = append(reqs, Irecv[int](c, src, 1))
+			}
+		}
+		WaitAll(reqs...)
+		for _, r := range reqs {
+			got := r.payload.([]int)
+			if len(got) != 1 {
+				t.Errorf("bad payload %v", got)
+			}
+		}
+	})
+}
+
+func TestMixedBlockingAfterNonblocking(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 1, []int{10})
+			Send(c, 1, 2, []int{20})
+		} else {
+			r := Irecv[int](c, 0, 2)
+			a := Recv[int](c, 0, 1) // blocking recv on a different tag
+			b := WaitT[int](r)
+			if a[0] != 10 || b[0] != 20 {
+				t.Errorf("mixed recv broken: %v %v", a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+// Package par provides fixed-width goroutine worker pools standing in for
+// the OpenMP parallel regions of the paper (§4.2). The DNS threads three
+// sites: batched FFT lines, per-wavenumber time-advance solves, and the
+// blocked on-node data reordering. As in the paper, the degree of
+// parallelism may differ per site, which is why kernels take a *Pool rather
+// than consulting a global setting.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool executes parallel loops with a fixed number of workers.
+// The zero value and a nil *Pool both run serially.
+type Pool struct {
+	n int
+}
+
+// NewPool returns a pool with n workers; n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{n: n}
+}
+
+// Workers reports the worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.n <= 1 {
+		return 1
+	}
+	return p.n
+}
+
+// For runs fn(i) for every i in [0, n), partitioned into contiguous chunks
+// across the workers. fn must be safe for concurrent invocation on distinct
+// indices.
+func (p *Pool) For(n int, fn func(i int)) {
+	p.ForBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForBlocks splits [0, n) into one contiguous block per worker and runs
+// fn(lo, hi) on each. Contiguous blocks keep each worker's memory streams
+// independent, the property the paper exploits for the on-node reorder.
+func (p *Pool) ForBlocks(n int, fn func(lo, hi int)) {
+	w := p.Workers()
+	if w == 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

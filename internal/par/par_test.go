@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed % 100)
+		if n < 0 {
+			n = -n
+		}
+		n++
+		for _, w := range []int{1, 2, 4, 7, 200} {
+			p := NewPool(w)
+			var hits [300]int32
+			p.For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i := 0; i < n; i++ {
+				if hits[i] != 1 {
+					return false
+				}
+			}
+			for i := n; i < 300; i++ {
+				if hits[i] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForBlocksPartition(t *testing.T) {
+	p := NewPool(4)
+	var total int64
+	p.ForBlocks(1000, func(lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != 1000 {
+		t.Errorf("blocks cover %d of 1000", total)
+	}
+}
+
+func TestNilPoolSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Errorf("nil pool workers %d", p.Workers())
+	}
+	sum := 0
+	p.For(10, func(i int) { sum += i }) // must be safe without synchronization
+	if sum != 45 {
+		t.Errorf("nil pool sum %d", sum)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	p := NewPool(3)
+	ran := false
+	p.For(0, func(int) { ran = true })
+	p.ForBlocks(0, func(int, int) { ran = true })
+	if ran {
+		t.Error("callbacks ran for n=0")
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if NewPool(0).Workers() < 1 || NewPool(-5).Workers() < 1 {
+		t.Error("default pool must have at least one worker")
+	}
+}

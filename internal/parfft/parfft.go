@@ -1,0 +1,174 @@
+// Package parfft implements the distributed 2.5-D FFT pipeline that paper
+// §4.4 benchmarks against P3DFFT (Table 6): four global transposes and four
+// batched 1-D FFT stages per cycle, with the wall-normal direction never
+// transformed (the channel code does linear algebra there instead).
+//
+// Two kernels share the machinery:
+//
+//   - Custom mirrors the paper's customized kernel: the x Nyquist mode is
+//     neither stored nor transposed (Nx/2 one-sided modes instead of
+//     Nx/2+1), communication scratch is sized to the input array (1x), and
+//     FFT plus pack/unpack loops run under a worker pool.
+//   - Baseline mirrors P3DFFT 2.5.1's behaviour: the Nyquist mode is carried
+//     through every transpose, scratch buffers total three times the input
+//     size, and there is no shared-memory threading.
+package parfft
+
+import (
+	"time"
+
+	"channeldns/internal/fft"
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+	"channeldns/internal/pencil"
+)
+
+// Kernel is a distributed parallel-FFT pipeline instance; construct with
+// NewCustom or NewBaseline.
+type Kernel struct {
+	D           *pencil.Decomp
+	Nx          int
+	DropNyquist bool
+	Pool        *par.Pool
+
+	planZ *fft.Plan
+	planX *fft.RealPlan
+	// ballast emulates P3DFFT's extra working buffers; nil for Custom.
+	ballast []complex128
+}
+
+// Timings accumulates per-cycle time split by operation class, the
+// breakdown the paper reports.
+type Timings struct {
+	Transpose time.Duration
+	FFT       time.Duration
+}
+
+// Total returns the summed time.
+func (t Timings) Total() time.Duration { return t.Transpose + t.FFT }
+
+// NewCustom builds the customized kernel on a PA x PB process grid for an
+// Nx x Ny x Nz grid (Nx even). One-sided x modes: Nx/2 (Nyquist dropped).
+func NewCustom(world *mpi.Comm, pa, pb, nx, ny, nz int, pool *par.Pool) *Kernel {
+	return newKernel(world, pa, pb, nx, ny, nz, true, pool)
+}
+
+// NewBaseline builds the P3DFFT-style kernel: Nyquist kept (Nx/2+1 modes),
+// 3x buffers, serial on-node execution.
+func NewBaseline(world *mpi.Comm, pa, pb, nx, ny, nz int) *Kernel {
+	return newKernel(world, pa, pb, nx, ny, nz, false, nil)
+}
+
+func newKernel(world *mpi.Comm, pa, pb, nx, ny, nz int, drop bool, pool *par.Pool) *Kernel {
+	nkx := nx/2 + 1
+	if drop {
+		nkx = nx / 2
+	}
+	k := &Kernel{
+		Nx:          nx,
+		DropNyquist: drop,
+		Pool:        pool,
+		D:           pencil.New(world, pa, pb, nkx, nz, ny, pool),
+		planZ:       fft.NewPlan(nz),
+		planX:       fft.NewRealPlan(nx),
+	}
+	if !drop {
+		// P3DFFT's communication scratch is three times the input array;
+		// allocate (and touch) the extra 2x so the memory footprint is real.
+		yl, yh := k.D.YRange()
+		zl, zh := k.D.ZRangeX(nz)
+		n := (yh - yl) * (zh - zl) * nkx
+		k.ballast = make([]complex128, 2*n)
+		for i := range k.ballast {
+			k.ballast[i] = 0
+		}
+	}
+	return k
+}
+
+// NKx returns the number of one-sided x modes carried.
+func (k *Kernel) NKx() int { return k.D.NKx }
+
+// YPencilLen returns the per-field local length in the starting (y-pencil)
+// configuration.
+func (k *Kernel) YPencilLen() int { return k.D.YPencilLen() }
+
+// Cycle runs one full parallel-FFT cycle on the given spectral y-pencil
+// fields: y->z transpose, inverse z FFT, z->x transpose, inverse x FFT,
+// then the forward path back to y-pencils. As in the paper's benchmark, no
+// 3/2 padding is applied and the wall-normal direction is untouched.
+// The round trip is normalized to the identity. Returns the timing split.
+func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
+	var tm Timings
+	d := k.D
+	nz := d.NZ
+	nkx := d.NKx
+
+	t0 := time.Now()
+	zp := d.YtoZ(nil, fields)
+	tm.Transpose += time.Since(t0)
+
+	// Inverse z FFT on every contiguous line of length nz.
+	kl, kh := d.KxRange()
+	yl, yh := d.YRange()
+	linesZ := (kh - kl) * (yh - yl)
+	t0 = time.Now()
+	for _, fd := range zp {
+		fd := fd
+		k.Pool.For(linesZ, func(l int) {
+			k.planZ.Inverse(fd[l*nz:(l+1)*nz], fd[l*nz:(l+1)*nz])
+		})
+	}
+	tm.FFT += time.Since(t0)
+
+	t0 = time.Now()
+	xp := d.ZtoX(nil, zp, nz)
+	tm.Transpose += time.Since(t0)
+
+	// Inverse then forward x transform per line (physical excursion).
+	zl, zh := d.ZRangeX(nz)
+	linesX := (yh - yl) * (zh - zl)
+	t0 = time.Now()
+	for _, fd := range xp {
+		fd := fd
+		k.Pool.ForBlocks(linesX, func(lo, hi int) {
+			phys := make([]float64, k.Nx)
+			spec := make([]complex128, k.Nx/2+1)
+			for l := lo; l < hi; l++ {
+				line := fd[l*nkx : (l+1)*nkx]
+				copy(spec, line)
+				for i := nkx; i < len(spec); i++ {
+					spec[i] = 0 // Nyquist (if dropped) enters as zero
+				}
+				k.planX.Inverse(phys, spec)
+				k.planX.Forward(spec, phys)
+				s := complex(1/float64(k.Nx), 0)
+				for i := range line {
+					line[i] = spec[i] * s
+				}
+			}
+		})
+	}
+	tm.FFT += time.Since(t0)
+
+	t0 = time.Now()
+	zp2 := d.XtoZ(nil, xp, nz)
+	tm.Transpose += time.Since(t0)
+
+	// Forward z FFT, normalized.
+	t0 = time.Now()
+	for _, fd := range zp2 {
+		fd := fd
+		k.Pool.For(linesZ, func(l int) {
+			line := fd[l*nz : (l+1)*nz]
+			k.planZ.Forward(line, line)
+			fft.Scale(line, 1/float64(nz))
+		})
+	}
+	tm.FFT += time.Since(t0)
+
+	t0 = time.Now()
+	out := d.ZtoY(nil, zp2)
+	tm.Transpose += time.Since(t0)
+	return out, tm
+}

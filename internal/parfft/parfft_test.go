@@ -1,0 +1,174 @@
+package parfft
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+)
+
+// TestCycleIsIdentity: a full inverse+forward cycle must reproduce the input
+// spectrum on every rank (to rounding), for both kernels and several grids.
+func TestCycleIsIdentity(t *testing.T) {
+	cases := []struct {
+		pa, pb, nx, ny, nz int
+		custom             bool
+	}{
+		{1, 1, 8, 6, 8, true},
+		{2, 2, 16, 8, 8, true},
+		{2, 2, 16, 8, 8, false},
+		{4, 2, 32, 12, 16, true},
+		{2, 4, 32, 12, 16, false},
+		{3, 2, 12, 7, 9, true}, // uneven everything
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("pa%d_pb%d_%dx%dx%d_custom%v", tc.pa, tc.pb, tc.nx, tc.ny, tc.nz, tc.custom)
+		t.Run(name, func(t *testing.T) {
+			mpi.Run(tc.pa*tc.pb, func(c *mpi.Comm) {
+				var k *Kernel
+				if tc.custom {
+					k = NewCustom(c, tc.pa, tc.pb, tc.nx, tc.ny, tc.nz, par.NewPool(2))
+				} else {
+					k = NewBaseline(c, tc.pa, tc.pb, tc.nx, tc.ny, tc.nz)
+				}
+				rng := rand.New(rand.NewSource(int64(c.Rank()*7 + 1)))
+				nf := 3
+				fields := make([][]complex128, nf)
+				for f := range fields {
+					fields[f] = make([]complex128, k.YPencilLen())
+					for i := range fields[f] {
+						fields[f][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+					}
+				}
+				// Zero the modes a real field cannot carry independently:
+				// the inverse x transform treats the line as a half-complex
+				// spectrum, so a clean identity needs the kx=0 (and Nyquist)
+				// planes Hermitian in z. Zero them for the roundtrip test.
+				kl, kh := k.D.KxRange()
+				zl, zh := k.D.KzRangeY()
+				ny := k.D.NY
+				for f := range fields {
+					pos := 0
+					for kx := kl; kx < kh; kx++ {
+						for kz := zl; kz < zh; kz++ {
+							for y := 0; y < ny; y++ {
+								if kx == 0 || kx == k.Nx/2 {
+									fields[f][pos] = 0
+								}
+								pos++
+							}
+						}
+					}
+				}
+				want := make([][]complex128, nf)
+				for f := range fields {
+					want[f] = append([]complex128(nil), fields[f]...)
+				}
+				out, _ := k.Cycle(fields)
+				for f := range out {
+					for i := range out[f] {
+						if d := cmplx.Abs(out[f][i] - want[f][i]); d > 1e-9 {
+							t.Fatalf("field %d index %d: |diff| = %g", f, i, d)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestCycleMatchesSingleRank: the distributed cycle must give the same
+// result as the single-rank cycle on identical global data.
+func TestCycleMatchesSingleRank(t *testing.T) {
+	nx, ny, nz := 16, 6, 12
+	nkx := nx / 2
+	// Deterministic global y-pencil content indexed (kx, kz, y).
+	val := func(f, kx, kz, y int) complex128 {
+		if kx == 0 {
+			return 0
+		}
+		return complex(float64(f+1)*0.1*float64(kx+1), float64(kz-y)*0.05)
+	}
+	// Single rank reference.
+	var ref [][]complex128
+	mpi.Run(1, func(c *mpi.Comm) {
+		k := NewCustom(c, 1, 1, nx, ny, nz, par.NewPool(1))
+		fields := [][]complex128{make([]complex128, k.YPencilLen())}
+		pos := 0
+		for kx := 0; kx < nkx; kx++ {
+			for kz := 0; kz < nz; kz++ {
+				for y := 0; y < ny; y++ {
+					fields[0][pos] = val(0, kx, kz, y)
+					pos++
+				}
+			}
+		}
+		out, _ := k.Cycle(fields)
+		ref = out
+	})
+	// Distributed run: every rank checks its slice against ref's layout.
+	mpi.Run(4, func(c *mpi.Comm) {
+		k := NewCustom(c, 2, 2, nx, ny, nz, par.NewPool(1))
+		fields := [][]complex128{make([]complex128, k.YPencilLen())}
+		kl, kh := k.D.KxRange()
+		zl, zh := k.D.KzRangeY()
+		pos := 0
+		for kx := kl; kx < kh; kx++ {
+			for kz := zl; kz < zh; kz++ {
+				for y := 0; y < ny; y++ {
+					fields[0][pos] = val(0, kx, kz, y)
+					pos++
+				}
+			}
+		}
+		out, _ := k.Cycle(fields)
+		pos = 0
+		for kx := kl; kx < kh; kx++ {
+			for kz := zl; kz < zh; kz++ {
+				for y := 0; y < ny; y++ {
+					want := ref[0][(kx*nz+kz)*ny+y]
+					if d := cmplx.Abs(out[0][pos] - want); d > 1e-10 {
+						t.Fatalf("rank %d (kx=%d kz=%d y=%d): |diff|=%g", c.Rank(), kx, kz, y, d)
+					}
+					pos++
+				}
+			}
+		}
+	})
+}
+
+func TestBaselineCarriesNyquist(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		cust := NewCustom(c, 1, 1, 16, 4, 8, par.NewPool(1))
+		if cust.NKx() != 8 {
+			t.Errorf("custom NKx = %d, want 8", cust.NKx())
+		}
+	})
+	mpi.Run(1, func(c *mpi.Comm) {
+		base := NewBaseline(c, 1, 1, 16, 4, 8)
+		if base.NKx() != 9 {
+			t.Errorf("baseline NKx = %d, want 9", base.NKx())
+		}
+		if base.ballast == nil {
+			t.Error("baseline missing 3x buffer ballast")
+		}
+	})
+}
+
+func TestTimingsAccumulate(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		k := NewCustom(c, 2, 1, 32, 16, 32, par.NewPool(1))
+		fields := [][]complex128{make([]complex128, k.YPencilLen())}
+		_, tm := k.Cycle(fields)
+		if tm.Transpose <= 0 || tm.FFT <= 0 {
+			t.Errorf("timings not accumulated: %+v", tm)
+		}
+		if tm.Total() != tm.Transpose+tm.FFT {
+			t.Errorf("total mismatch")
+		}
+	})
+}

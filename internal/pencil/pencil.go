@@ -1,0 +1,431 @@
+// Package pencil implements the 3-D pencil decomposition and the global
+// data transposes of paper §2.2-2.3. Each rank owns a pencil that is long
+// in the direction currently being transformed (y for linear algebra, z or
+// x for FFTs); changing pencil orientation is a global transpose executed
+// as an alltoallv inside one of two cartesian sub-communicators:
+//
+//	CommB:  y-pencils <-> z-pencils (redistributes kz and y)
+//	CommA:  z-pencils <-> x-pencils (redistributes kx and z)
+//
+// The on-node data reordering A(i,j,k) -> A(j,k,i) that the paper threads
+// with OpenMP shows up here as the pack/unpack loops around the exchange,
+// plus a standalone Reorder kernel used by the Table 4 benchmark.
+package pencil
+
+import (
+	"fmt"
+
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+)
+
+// Chunk returns the half-open index range [lo, hi) that rank r of p owns
+// out of n items, balanced to within one item.
+func Chunk(n, p, r int) (lo, hi int) {
+	return r * n / p, (r + 1) * n / p
+}
+
+// Decomp carries the grid extents, the process grid and its two
+// sub-communicators, and the worker pool used for pack/unpack loops.
+//
+// Spectral extents: NKx one-sided x modes (Nyquist dropped), NZ z modes in
+// wrap order (Nyquist slot zero), NY wall-normal points.
+//
+// Layouts (row major, last index fastest):
+//
+//	y-pencil: [kxLoc][kzLoc][NY]      kx over CommA, kz over CommB
+//	z-pencil: [kxLoc][yLoc][zLen]     kx over CommA, y over CommB
+//	x-pencil: [yLoc][zLocA][NKx]      z over CommA,  y over CommB
+type Decomp struct {
+	NKx, NZ, NY int
+	PA, PB      int
+
+	Cart *mpi.CartComm // full grid, dims {PA, PB}
+	A    *mpi.CartComm // CommA: row of the process grid, size PA
+	B    *mpi.CartComm // CommB: column of the process grid, size PB
+
+	ca, cb int // this rank's coordinates in the process grid
+	Pool   *par.Pool
+
+	// Overlap selects the nonblocking (Isend/Irecv) exchange for the
+	// global transposes instead of the pairwise blocking schedule — the
+	// communication-overlap ablation of DESIGN.md §7. Results are
+	// identical either way.
+	Overlap bool
+}
+
+// exchange runs one alltoallv on the chosen schedule.
+func (d *Decomp) exchange(c *mpi.Comm, data []complex128, sc, sd, rc, rd []int) []complex128 {
+	if d.Overlap {
+		return mpi.AlltoallvOverlap(c, data, sc, sd, rc, rd)
+	}
+	return mpi.Alltoallv(c, data, sc, sd, rc, rd)
+}
+
+// New builds the decomposition on the world communicator, imposing a
+// PA x PB cartesian grid. Ranks are assigned so that consecutive world
+// ranks share a CommB group — the arrangement the paper uses to keep CommB
+// node-local. Every rank must call New collectively.
+func New(world *mpi.Comm, pa, pb, nkx, nz, ny int, pool *par.Pool) *Decomp {
+	if pa*pb != world.Size() {
+		panic(fmt.Sprintf("pencil: grid %dx%d != world size %d", pa, pb, world.Size()))
+	}
+	cart := world.CartCreate([]int{pa, pb})
+	a := cart.CartSub([]bool{true, false})
+	b := cart.CartSub([]bool{false, true})
+	co := cart.Coords()
+	return &Decomp{
+		NKx: nkx, NZ: nz, NY: ny,
+		PA: pa, PB: pb,
+		Cart: cart, A: a, B: b,
+		ca: co[0], cb: co[1],
+		Pool: pool,
+	}
+}
+
+// CoordA returns this rank's index along the CommA direction.
+func (d *Decomp) CoordA() int { return d.ca }
+
+// CoordB returns this rank's index along the CommB direction.
+func (d *Decomp) CoordB() int { return d.cb }
+
+// KxRange returns this rank's one-sided x-mode range (distributed over CommA).
+func (d *Decomp) KxRange() (int, int) { return Chunk(d.NKx, d.PA, d.ca) }
+
+// KzRangeY returns this rank's z-mode range in the y-pencil configuration
+// (distributed over CommB).
+func (d *Decomp) KzRangeY() (int, int) { return Chunk(d.NZ, d.PB, d.cb) }
+
+// YRange returns this rank's wall-normal range in the z- and x-pencil
+// configurations (distributed over CommB).
+func (d *Decomp) YRange() (int, int) { return Chunk(d.NY, d.PB, d.cb) }
+
+// ZRangeX returns this rank's z range in the x-pencil configuration for a
+// z extent of zLen points (distributed over CommA). zLen is NZ for spectral
+// data or the padded physical size 3*NZ/2.
+func (d *Decomp) ZRangeX(zLen int) (int, int) { return Chunk(zLen, d.PA, d.ca) }
+
+// YPencilLen returns the local y-pencil length per field.
+func (d *Decomp) YPencilLen() int {
+	kl, kh := d.KxRange()
+	zl, zh := d.KzRangeY()
+	return (kh - kl) * (zh - zl) * d.NY
+}
+
+// ZPencilLen returns the local z-pencil length per field for z extent zLen.
+func (d *Decomp) ZPencilLen(zLen int) int {
+	kl, kh := d.KxRange()
+	yl, yh := d.YRange()
+	return (kh - kl) * (yh - yl) * zLen
+}
+
+// XPencilLen returns the local x-pencil length per field for z extent zLen.
+func (d *Decomp) XPencilLen(zLen int) int {
+	yl, yh := d.YRange()
+	zl, zh := d.ZRangeX(zLen)
+	return (yh - yl) * (zh - zl) * d.NKx
+}
+
+// YtoZ transposes fields from y-pencils to spectral z-pencils (z extent NZ)
+// inside CommB. Paper step (a). dst and src are per-field slices; dst may
+// be nil, in which case new slices are allocated.
+func (d *Decomp) YtoZ(dst, src [][]complex128) [][]complex128 {
+	nf := len(src)
+	kl, kh := d.KxRange()
+	nkx := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zl, zh := d.KzRangeY()
+	nkz := zh - zl
+	pb := d.PB
+
+	blk := nf * nkx // fields x local kx, common factor of all message sizes
+	sendCounts := make([]int, pb)
+	sendDispls := make([]int, pb)
+	recvCounts := make([]int, pb)
+	recvDispls := make([]int, pb)
+	soff, roff := 0, 0
+	for b := 0; b < pb; b++ {
+		pyl, pyh := Chunk(d.NY, pb, b) // peer b's y chunk (what I send)
+		pzl, pzh := Chunk(d.NZ, pb, b) // peer b's kz chunk (what I receive)
+		sendCounts[b] = blk * nkz * (pyh - pyl)
+		sendDispls[b] = soff
+		soff += sendCounts[b]
+		recvCounts[b] = blk * (pzh - pzl) * nyLoc
+		recvDispls[b] = roff
+		roff += recvCounts[b]
+	}
+	sbuf := make([]complex128, soff)
+	// Pack: per peer b, layout [f][kx][kz][y in b's chunk].
+	d.Pool.For(pb, func(b int) {
+		pyl, pyh := Chunk(d.NY, pb, b)
+		pos := sendDispls[b]
+		for f := 0; f < nf; f++ {
+			fd := src[f]
+			for kx := 0; kx < nkx; kx++ {
+				for kz := 0; kz < nkz; kz++ {
+					base := (kx*nkz + kz) * d.NY
+					for y := pyl; y < pyh; y++ {
+						sbuf[pos] = fd[base+y]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	rbuf := d.exchange(d.B.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
+	if dst == nil {
+		dst = allocFields(nf, nkx*nyLoc*d.NZ)
+	}
+	// Unpack: from peer b, layout [f][kx][kz in b's chunk][y mine].
+	d.Pool.For(pb, func(b int) {
+		pzl, pzh := Chunk(d.NZ, pb, b)
+		pos := recvDispls[b]
+		for f := 0; f < nf; f++ {
+			fd := dst[f]
+			for kx := 0; kx < nkx; kx++ {
+				for kz := pzl; kz < pzh; kz++ {
+					for y := 0; y < nyLoc; y++ {
+						fd[(kx*nyLoc+y)*d.NZ+kz] = rbuf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// ZtoY transposes fields from spectral z-pencils back to y-pencils inside
+// CommB; the inverse of YtoZ (paper step (h) tail).
+func (d *Decomp) ZtoY(dst, src [][]complex128) [][]complex128 {
+	nf := len(src)
+	kl, kh := d.KxRange()
+	nkx := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zl, zh := d.KzRangeY()
+	nkz := zh - zl
+	pb := d.PB
+
+	blk := nf * nkx
+	sendCounts := make([]int, pb)
+	sendDispls := make([]int, pb)
+	recvCounts := make([]int, pb)
+	recvDispls := make([]int, pb)
+	soff, roff := 0, 0
+	for b := 0; b < pb; b++ {
+		pzl, pzh := Chunk(d.NZ, pb, b)
+		pyl, pyh := Chunk(d.NY, pb, b)
+		sendCounts[b] = blk * (pzh - pzl) * nyLoc
+		sendDispls[b] = soff
+		soff += sendCounts[b]
+		recvCounts[b] = blk * nkz * (pyh - pyl)
+		recvDispls[b] = roff
+		roff += recvCounts[b]
+	}
+	sbuf := make([]complex128, soff)
+	// Pack: to peer b, layout [f][kx][kz in b's chunk][y mine] — the exact
+	// inverse of YtoZ's unpack.
+	d.Pool.For(pb, func(b int) {
+		pzl, pzh := Chunk(d.NZ, pb, b)
+		pos := sendDispls[b]
+		for f := 0; f < nf; f++ {
+			fd := src[f]
+			for kx := 0; kx < nkx; kx++ {
+				for kz := pzl; kz < pzh; kz++ {
+					for y := 0; y < nyLoc; y++ {
+						sbuf[pos] = fd[(kx*nyLoc+y)*d.NZ+kz]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	rbuf := d.exchange(d.B.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
+	if dst == nil {
+		dst = allocFields(nf, nkx*nkz*d.NY)
+	}
+	d.Pool.For(pb, func(b int) {
+		pyl, pyh := Chunk(d.NY, pb, b)
+		pos := recvDispls[b]
+		for f := 0; f < nf; f++ {
+			fd := dst[f]
+			for kx := 0; kx < nkx; kx++ {
+				for kz := 0; kz < nkz; kz++ {
+					base := (kx*nkz + kz) * d.NY
+					for y := pyl; y < pyh; y++ {
+						fd[base+y] = rbuf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// ZtoX transposes fields from z-pencils (z extent zLen, typically the padded
+// physical 3*NZ/2) to x-pencils inside CommA. Paper step (d).
+func (d *Decomp) ZtoX(dst, src [][]complex128, zLen int) [][]complex128 {
+	nf := len(src)
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zl, zh := d.ZRangeX(zLen)
+	nzLoc := zh - zl
+	pa := d.PA
+
+	blk := nf * nyLoc
+	sendCounts := make([]int, pa)
+	sendDispls := make([]int, pa)
+	recvCounts := make([]int, pa)
+	recvDispls := make([]int, pa)
+	soff, roff := 0, 0
+	for a := 0; a < pa; a++ {
+		pzl, pzh := Chunk(zLen, pa, a)
+		pkl, pkh := Chunk(d.NKx, pa, a)
+		sendCounts[a] = blk * nkxLoc * (pzh - pzl)
+		sendDispls[a] = soff
+		soff += sendCounts[a]
+		recvCounts[a] = blk * (pkh - pkl) * nzLoc
+		recvDispls[a] = roff
+		roff += recvCounts[a]
+	}
+	sbuf := make([]complex128, soff)
+	// Pack: to peer a, layout [f][kx mine][y][z in a's chunk].
+	d.Pool.For(pa, func(a int) {
+		pzl, pzh := Chunk(zLen, pa, a)
+		pos := sendDispls[a]
+		for f := 0; f < nf; f++ {
+			fd := src[f]
+			for kx := 0; kx < nkxLoc; kx++ {
+				for y := 0; y < nyLoc; y++ {
+					base := (kx*nyLoc + y) * zLen
+					for z := pzl; z < pzh; z++ {
+						sbuf[pos] = fd[base+z]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	rbuf := d.exchange(d.A.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
+	if dst == nil {
+		dst = allocFields(nf, nyLoc*nzLoc*d.NKx)
+	}
+	// Unpack: from peer a, layout [f][kx in a's chunk][y][z mine].
+	d.Pool.For(pa, func(a int) {
+		pkl, pkh := Chunk(d.NKx, pa, a)
+		pos := recvDispls[a]
+		for f := 0; f < nf; f++ {
+			fd := dst[f]
+			for kx := pkl; kx < pkh; kx++ {
+				for y := 0; y < nyLoc; y++ {
+					for z := 0; z < nzLoc; z++ {
+						fd[(y*nzLoc+z)*d.NKx+kx] = rbuf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// XtoZ transposes fields from x-pencils back to z-pencils (z extent zLen)
+// inside CommA; the inverse of ZtoX.
+func (d *Decomp) XtoZ(dst, src [][]complex128, zLen int) [][]complex128 {
+	nf := len(src)
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zl, zh := d.ZRangeX(zLen)
+	nzLoc := zh - zl
+	pa := d.PA
+
+	blk := nf * nyLoc
+	sendCounts := make([]int, pa)
+	sendDispls := make([]int, pa)
+	recvCounts := make([]int, pa)
+	recvDispls := make([]int, pa)
+	soff, roff := 0, 0
+	for a := 0; a < pa; a++ {
+		pkl, pkh := Chunk(d.NKx, pa, a)
+		pzl, pzh := Chunk(zLen, pa, a)
+		sendCounts[a] = blk * (pkh - pkl) * nzLoc
+		sendDispls[a] = soff
+		soff += sendCounts[a]
+		recvCounts[a] = blk * nkxLoc * (pzh - pzl)
+		recvDispls[a] = roff
+		roff += recvCounts[a]
+	}
+	sbuf := make([]complex128, soff)
+	d.Pool.For(pa, func(a int) {
+		pkl, pkh := Chunk(d.NKx, pa, a)
+		pos := sendDispls[a]
+		for f := 0; f < nf; f++ {
+			fd := src[f]
+			for kx := pkl; kx < pkh; kx++ {
+				for y := 0; y < nyLoc; y++ {
+					for z := 0; z < nzLoc; z++ {
+						sbuf[pos] = fd[(y*nzLoc+z)*d.NKx+kx]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	rbuf := d.exchange(d.A.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
+	if dst == nil {
+		dst = allocFields(nf, nkxLoc*nyLoc*zLen)
+	}
+	d.Pool.For(pa, func(a int) {
+		pzl, pzh := Chunk(zLen, pa, a)
+		pos := recvDispls[a]
+		for f := 0; f < nf; f++ {
+			fd := dst[f]
+			for kx := 0; kx < nkxLoc; kx++ {
+				for y := 0; y < nyLoc; y++ {
+					base := (kx*nyLoc + y) * zLen
+					for z := pzl; z < pzh; z++ {
+						fd[base+z] = rbuf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+func allocFields(nf, n int) [][]complex128 {
+	out := make([][]complex128, nf)
+	for i := range out {
+		out[i] = make([]complex128, n)
+	}
+	return out
+}
+
+// Reorder performs the on-node transpose A(i,j,k) -> A(j,k,i) of paper
+// §4.2, dividing the work into independent pieces across the pool to keep
+// multiple memory streams in flight. src is ni x nj x nk row-major; dst is
+// nj x nk x ni row-major.
+func Reorder(dst, src []complex128, ni, nj, nk int, pool *par.Pool) {
+	if len(dst) < ni*nj*nk || len(src) < ni*nj*nk {
+		panic("pencil: Reorder slice lengths")
+	}
+	pool.ForBlocks(nj, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			for k := 0; k < nk; k++ {
+				out := (j*nk + k) * ni
+				in := j*nk + k
+				for i := 0; i < ni; i++ {
+					dst[out+i] = src[in+i*nj*nk]
+				}
+			}
+		}
+	})
+}

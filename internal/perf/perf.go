@@ -1,0 +1,194 @@
+// Package perf provides the instrumentation the benchmark harness reports
+// with: section timers mirroring the paper's Transpose / FFT / N-S advance
+// breakdown, software flop and byte counters standing in for the IBM HPM
+// hardware counters of Table 2, and plain-text table rendering.
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sections partitions run time the way the paper's tables do.
+type Sections struct {
+	mu        sync.Mutex
+	Transpose time.Duration
+	FFT       time.Duration
+	Advance   time.Duration
+	Other     time.Duration
+}
+
+// AddTranspose accumulates transpose time (thread-safe).
+func (s *Sections) AddTranspose(d time.Duration) { s.add(&s.Transpose, d) }
+
+// AddFFT accumulates FFT time.
+func (s *Sections) AddFFT(d time.Duration) { s.add(&s.FFT, d) }
+
+// AddAdvance accumulates Navier-Stokes time-advance time.
+func (s *Sections) AddAdvance(d time.Duration) { s.add(&s.Advance, d) }
+
+// AddOther accumulates unclassified time.
+func (s *Sections) AddOther(d time.Duration) { s.add(&s.Other, d) }
+
+func (s *Sections) add(dst *time.Duration, d time.Duration) {
+	s.mu.Lock()
+	*dst += d
+	s.mu.Unlock()
+}
+
+// Total returns the sum of all sections.
+func (s *Sections) Total() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Transpose + s.FFT + s.Advance + s.Other
+}
+
+// Counters tallies floating-point operations and memory traffic. The DNS
+// kernels report their operation counts here so single-core performance can
+// be summarized as in Table 2.
+type Counters struct {
+	mu    sync.Mutex
+	Flops int64
+	Bytes int64
+}
+
+// AddFlops adds floating-point operations.
+func (c *Counters) AddFlops(n int64) {
+	c.mu.Lock()
+	c.Flops += n
+	c.mu.Unlock()
+}
+
+// AddBytes adds memory traffic in bytes.
+func (c *Counters) AddBytes(n int64) {
+	c.mu.Lock()
+	c.Bytes += n
+	c.mu.Unlock()
+}
+
+// GFlops returns the rate over elapsed time.
+func (c *Counters) GFlops(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Flops) / elapsed.Seconds() / 1e9
+}
+
+// BytesPerSec returns the memory traffic rate.
+func (c *Counters) BytesPerSec(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / elapsed.Seconds()
+}
+
+// Table renders aligned text tables for the benchmark tools.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row formatting each value with %v (floats with %.4g).
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", max(4, total-2)) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Stopwatch measures named laps; useful in benchmark mains.
+type Stopwatch struct {
+	start time.Time
+	laps  map[string]time.Duration
+}
+
+// NewStopwatch starts a stopwatch.
+func NewStopwatch() *Stopwatch {
+	return &Stopwatch{start: time.Now(), laps: map[string]time.Duration{}}
+}
+
+// Lap records time since the last lap (or start) under the given name.
+func (sw *Stopwatch) Lap(name string) time.Duration {
+	now := time.Now()
+	d := now.Sub(sw.start)
+	sw.start = now
+	sw.laps[name] += d
+	return d
+}
+
+// Laps returns the recorded laps sorted by name.
+func (sw *Stopwatch) Laps() []struct {
+	Name string
+	D    time.Duration
+} {
+	names := make([]string, 0, len(sw.laps))
+	for n := range sw.laps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Name string
+		D    time.Duration
+	}, len(names))
+	for i, n := range names {
+		out[i].Name = n
+		out[i].D = sw.laps[n]
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSectionsConcurrent(t *testing.T) {
+	var s Sections
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.AddTranspose(time.Millisecond)
+			s.AddFFT(2 * time.Millisecond)
+			s.AddAdvance(3 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if s.Total() != 50*6*time.Millisecond {
+		t.Errorf("total %v", s.Total())
+	}
+}
+
+func TestCountersRates(t *testing.T) {
+	var c Counters
+	c.AddFlops(2e9)
+	c.AddBytes(4e9)
+	if g := c.GFlops(time.Second); g != 2 {
+		t.Errorf("GFlops %g", g)
+	}
+	if b := c.BytesPerSec(2 * time.Second); b != 2e9 {
+		t.Errorf("bytes/s %g", b)
+	}
+	if c.GFlops(0) != 0 || c.BytesPerSec(-time.Second) != 0 {
+		t.Error("zero elapsed must not divide")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 3.14159)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "3.142"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestStopwatchLaps(t *testing.T) {
+	sw := NewStopwatch()
+	sw.Lap("a")
+	sw.Lap("b")
+	sw.Lap("a")
+	laps := sw.Laps()
+	if len(laps) != 2 || laps[0].Name != "a" || laps[1].Name != "b" {
+		t.Errorf("laps %v", laps)
+	}
+	if laps[0].D < 0 {
+		t.Error("negative lap")
+	}
+}
