@@ -1,0 +1,30 @@
+# Developer entry points. `make ci` is what a pipeline should run: static
+# checks, a full build, the whole test suite, and the race detector over
+# the concurrency-bearing packages (worker pool, in-process MPI runtime,
+# pencil transposes).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-alloc
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil
+
+# Paper-table benchmarks with allocation reporting; see README
+# "Performance notes" for how to read the allocs/op columns.
+bench:
+	$(GO) test -run xxx -bench 'Table|Figure|Ablation' -benchmem -benchtime 200ms .
+
+bench-alloc:
+	$(GO) test -run xxx -bench 'Table5|Table6|Table9' -benchmem -benchtime 200ms .

@@ -42,36 +42,66 @@ func main() {
 
 	if *live {
 		fmt.Println("\nLive in-process transpose cycle (16 ranks, 64x32x32 modes, 3 fields):")
-		lt := perf.Table{Headers: []string{"CommA", "CommB", "elapsed"}}
+		lt := perf.Table{Headers: []string{"CommA", "CommB", "elapsed",
+			"MB moved/dir", "steady allocs"}}
 		for _, split := range [][2]int{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}} {
-			lt.AddRowf(split[0], split[1], liveCycle(split[0], split[1]).String())
+			r := liveCycle(split[0], split[1])
+			lt.AddRowf(split[0], split[1], r.elapsed.String(),
+				fmt.Sprintf("%.2f", float64(r.bytesPerDir)/(1<<20)), r.allocs)
 		}
 		lt.Write(os.Stdout)
+		fmt.Println("MB moved/dir: rank-0 bytes through each transpose direction " +
+			"(pack+unpack); steady allocs: heap objects allocated process-wide " +
+			"during the timed cycles (message copies only — plan tables and " +
+			"exchange buffers are reused).")
 	}
 }
 
-func liveCycle(pa, pb int) time.Duration {
-	var elapsed time.Duration
+// liveResult is one timed split of the live sweep.
+type liveResult struct {
+	elapsed     time.Duration
+	bytesPerDir int64  // rank-0 bytes moved per direction (all four agree)
+	allocs      uint64 // process-wide heap objects during the timed loop
+}
+
+func liveCycle(pa, pb int) liveResult {
+	var res liveResult
 	mpi.Run(pa*pb, func(c *mpi.Comm) {
 		d := pencil.New(c, pa, pb, 32, 32, 32, par.NewPool(1))
 		fields := make([][]complex128, 3)
 		for f := range fields {
 			fields[f] = make([]complex128, d.YPencilLen())
 		}
+		// Preallocated destinations: the steady-state cycle reuses these
+		// and the Decomp's transpose plans, so the loop below allocates
+		// nothing beyond the runtime's per-message copies.
+		zp := pencil.AllocFields(3, d.ZPencilLen(d.NZ))
+		xp := pencil.AllocFields(3, d.XPencilLen(d.NZ))
+		zp2 := pencil.AllocFields(3, d.ZPencilLen(d.NZ))
+		out := pencil.AllocFields(3, d.YPencilLen())
+		cycle := func() {
+			d.YtoZ(zp, fields)
+			d.ZtoX(xp, zp, d.NZ)
+			d.XtoZ(zp2, xp, d.NZ)
+			d.ZtoY(out, zp2)
+		}
+		cycle() // warm the plans
+		statsBase := d.Stats()
 		c.Barrier()
+		before := perf.ReadAllocs()
 		t0 := time.Now()
 		for it := 0; it < 4; it++ {
-			zp := d.YtoZ(nil, fields)
-			xp := d.ZtoX(nil, zp, d.NZ)
-			zp2 := d.XtoZ(nil, xp, d.NZ)
-			d.ZtoY(nil, zp2)
+			cycle()
 		}
 		c.Barrier()
 		if c.Rank() == 0 {
-			elapsed = time.Since(t0)
+			res.elapsed = time.Since(t0)
+			res.allocs = perf.ReadAllocs().Sub(before).Mallocs
+			st := d.Stats()
+			res.bytesPerDir = st.YtoZ.BytesMoved - statsBase.YtoZ.BytesMoved
 		}
 	})
-	return elapsed
+	return res
 }
 
 // printPattern reproduces Figure 4: for a 128-task 8x16 cartesian grid, the

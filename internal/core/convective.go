@@ -30,19 +30,19 @@ const (
 )
 
 // velocityAndGradValues evaluates {u, v, w, du/dy, dv/dy, dw/dy} at the
-// collocation points for every locally owned mode, y-pencil layout.
+// collocation points for every locally owned mode, y-pencil layout. The
+// returned fields are the arena's velocity buffers.
 func (s *Solver) velocityAndGradValues() [][]complex128 {
 	ny := s.Cfg.Ny
-	out := make([][]complex128, 6)
-	for f := range out {
-		out[f] = make([]complex128, s.nw*ny)
-	}
-	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
-		vy := make([]complex128, ny)
-		vyy := make([]complex128, ny)
-		om := make([]complex128, ny)
-		omy := make([]complex128, ny)
-		vv := make([]complex128, ny)
+	ws := s.ws
+	out := ws.velY[:6]
+	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
+		wk := &ws.workers[blk]
+		vy := wk.ln[0]
+		vyy := wk.ln[1]
+		om := wk.ln[2]
+		omy := wk.ln[3]
+		vv := wk.ln[4]
 		for w := wlo; w < whi; w++ {
 			ikx, ikz := s.modeOf(w)
 			base := w * ny
@@ -51,10 +51,10 @@ func (s *Solver) velocityAndGradValues() [][]complex128 {
 			}
 			if ikx == 0 && ikz == 0 {
 				if s.ownsMean {
-					uv := make([]float64, ny)
-					wv := make([]float64, ny)
-					uyv := make([]float64, ny)
-					wyv := make([]float64, ny)
+					uv := wk.rl[0]
+					wv := wk.rl[1]
+					uyv := wk.rl[2]
+					wyv := wk.rl[3]
 					s.b0.MulVec(uv, s.meanU)
 					s.b0.MulVec(wv, s.meanW)
 					s.b1.MulVec(uyv, s.meanU)
@@ -95,12 +95,13 @@ func (s *Solver) velocityAndGradValues() [][]complex128 {
 func (s *Solver) convectiveH() [][]complex128 {
 	d := s.D
 	g := s.G
+	ws := s.ws
 	nz, mz := g.Nz, g.MZ()
 	nkx, mx := g.NKx(), g.MX()
 
 	// Six fields to z-pencils: u, v, w and their y derivatives.
 	vel := s.velocityAndGradValues()
-	zp := d.YtoZ(nil, vel)
+	zp := d.YtoZ(ws.zpVel[:6], vel)
 
 	kxloc := s.kxhi - s.kxlo
 	yl, yh := d.YRange()
@@ -109,35 +110,29 @@ func (s *Solver) convectiveH() [][]complex128 {
 
 	// Pad + inverse in z for all six, plus the three z derivatives of
 	// u, v, w built by multiplying the spectral lines by i*kz.
-	zphys := make([][]complex128, 9)
-	for f := 0; f < 9; f++ {
-		zphys[f] = make([]complex128, linesZ*mz)
-	}
-	kzMul := make([]complex128, nz)
-	for j := 0; j < nz; j++ {
-		kzMul[j] = complex(0, g.Kz(j))
-	}
-	for f := 0; f < 6; f++ {
-		src, dst := zp[f], zphys[f]
-		s.pool().ForBlocks(linesZ, func(lo, hi int) {
-			scratch := make([]complex128, mz)
-			dline := make([]complex128, nz)
+	zphys := ws.zphys[:9]
+	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
+		wk := &ws.workers[blk]
+		scratch := wk.zscr
+		dline := wk.zline
+		for f := 0; f < 6; f++ {
+			src, dst := zp[f], zphys[f]
 			for l := lo; l < hi; l++ {
 				line := src[l*nz : (l+1)*nz]
 				s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], line, scratch)
 				if f < 3 {
 					// z derivative of u, v, w -> slots 6, 7, 8.
 					for j := 0; j < nz; j++ {
-						dline[j] = kzMul[j] * line[j]
+						dline[j] = ws.kzMul[j] * line[j]
 					}
 					s.padZ.InversePaddedScratch(zphys[6+f][l*mz:(l+1)*mz], dline, scratch)
 				}
 			}
-		})
-	}
+		}
+	})
 
 	// Nine fields to x-pencils.
-	xp := d.ZtoX(nil, zphys, mz)
+	xp := d.ZtoX(ws.xp[:9], zphys, mz)
 
 	// One threaded block: inverse x transforms (twelve per line, three of
 	// them the i*kx derivatives of u, v, w), the convective products, and
@@ -145,26 +140,22 @@ func (s *Solver) convectiveH() [][]complex128 {
 	zxl, zxh := d.ZRangeX(mz)
 	nzLoc := zxh - zxl
 	linesX := nyLoc * nzLoc
-	hX := make([][]complex128, 3)
-	for f := range hX {
-		hX[f] = make([]complex128, linesX*nkx)
-	}
+	hX := ws.prodX[:3]
 	yl0, _ := d.YRange()
-	locMaxU := make([]float64, s.Cfg.Ny)
-	locMaxV := make([]float64, s.Cfg.Ny)
-	locMaxW := make([]float64, s.Cfg.Ny)
+	zeroF(ws.locMaxU)
+	zeroF(ws.locMaxV)
+	zeroF(ws.locMaxW)
 	var maxMu sync.Mutex
-	s.pool().ForBlocks(linesX, func(lo, hi int) {
-		phys := make([][]float64, 12) // u v w uy vy wy uz vz wz ux vx wx
-		for i := range phys {
-			phys[i] = make([]float64, mx)
-		}
-		hp := make([]float64, mx)
-		scratch := make([]complex128, mx/2+1)
-		dline := make([]complex128, nkx)
-		blkU := make([]float64, s.Cfg.Ny)
-		blkV := make([]float64, s.Cfg.Ny)
-		blkW := make([]float64, s.Cfg.Ny)
+	s.pool().ForBlocksIndexed(linesX, func(blk, lo, hi int) {
+		wk := &ws.workers[blk]
+		phys := &wk.phys // u v w uy vy wy uz vz wz ux vx wx
+		hp := wk.prod
+		scratch := wk.xscr
+		dline := wk.xline
+		blkU, blkV, blkW := wk.rl[0], wk.rl[1], wk.rl[2]
+		zeroF(blkU)
+		zeroF(blkV)
+		zeroF(blkW)
 		for l := lo; l < hi; l++ {
 			for f := 0; f < 9; f++ {
 				s.padX.InversePaddedScratch(phys[f], xp[f][l*nkx:(l+1)*nkx], scratch)
@@ -192,32 +183,33 @@ func (s *Solver) convectiveH() [][]complex128 {
 			}
 		}
 		maxMu.Lock()
-		for y := range locMaxU {
-			locMaxU[y] = math.Max(locMaxU[y], blkU[y])
-			locMaxV[y] = math.Max(locMaxV[y], blkV[y])
-			locMaxW[y] = math.Max(locMaxW[y], blkW[y])
+		for y := range ws.locMaxU {
+			ws.locMaxU[y] = math.Max(ws.locMaxU[y], blkU[y])
+			ws.locMaxV[y] = math.Max(ws.locMaxV[y], blkV[y])
+			ws.locMaxW[y] = math.Max(ws.locMaxW[y], blkW[y])
 		}
 		maxMu.Unlock()
 	})
 	s.physMaxMu.Lock()
-	s.physMaxU, s.physMaxV, s.physMaxW = locMaxU, locMaxV, locMaxW
+	copy(s.physMaxU, ws.locMaxU)
+	copy(s.physMaxV, ws.locMaxV)
+	copy(s.physMaxW, ws.locMaxW)
 	s.physMaxCurrent = true
 	s.physMaxMu.Unlock()
 
 	// Reverse path for the three H fields.
-	zp2 := d.XtoZ(nil, hX, mz)
-	zspec := make([][]complex128, 3)
-	for f := range zspec {
-		zspec[f] = make([]complex128, linesZ*nz)
-		src, dst := zp2[f], zspec[f]
-		s.pool().ForBlocks(linesZ, func(lo, hi int) {
-			scratch := make([]complex128, mz)
+	zp2 := d.XtoZ(ws.zpProd[:3], hX, mz)
+	zspec := ws.zspec[:3]
+	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
+		scratch := ws.workers[blk].zscr
+		for f := 0; f < 3; f++ {
+			src, dst := zp2[f], zspec[f]
 			for l := lo; l < hi; l++ {
 				s.padZ.ForwardTruncatedScratch(dst[l*nz:(l+1)*nz], src[l*mz:(l+1)*mz], scratch)
 			}
-		})
-	}
-	return d.ZtoY(nil, zspec)
+		}
+	})
+	return d.ZtoY(ws.prodsY[:3], zspec)
 }
 
 // convectiveTerms assembles h_g and h_v from convective-form H values:
@@ -225,19 +217,17 @@ func (s *Solver) convectiveH() [][]complex128 {
 //	h_g = i*kz*H_x - i*kx*H_z
 //	h_v = -k2*H_y - d/dy(i*kx*H_x + i*kz*H_z)
 //
-// plus the mean forcing profiles (H_x and H_z at kx = kz = 0 directly).
-func (s *Solver) convectiveTerms() (hg, hv [][]complex128, meanHx, meanHz []float64) {
+// plus the mean forcing profiles (H_x and H_z at kx = kz = 0 directly),
+// written into the caller-provided output buffers.
+func (s *Solver) convectiveTerms(hg, hv [][]complex128, meanHx, meanHz []float64) {
 	ny := s.Cfg.Ny
-	hg = allocCoef(s.nw, ny)
-	hv = allocCoef(s.nw, ny)
-	if s.ownsMean {
-		meanHx = make([]float64, ny)
-		meanHz = make([]float64, ny)
-	}
+	ws := s.ws
 	h := s.convectiveH()
-	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
-		p := make([]complex128, ny)
-		tmp := make([]complex128, ny)
+	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
+		wk := &ws.workers[blk]
+		p := wk.ln[0]
+		tmp := wk.ln[1]
+		cp := wk.ln[2]
 		for w := wlo; w < whi; w++ {
 			ikx, ikz := s.modeOf(w)
 			if s.G.IsNyquistZ(ikz) || (ikx == 0 && ikz == 0) {
@@ -253,7 +243,7 @@ func (s *Solver) convectiveTerms() (hg, hv [][]complex128, meanHx, meanHz []floa
 				hgw[i] = ikzC*h[0][base+i] - ikxC*h[2][base+i]
 				p[i] = ikxC*h[0][base+i] + ikzC*h[2][base+i]
 			}
-			cp := append([]complex128(nil), p...)
+			copy(cp, p)
 			s.b0fac.SolveComplex(cp)
 			s.b1.MulVecComplex(tmp, cp)
 			ck2 := complex(k2, 0)
@@ -270,5 +260,4 @@ func (s *Solver) convectiveTerms() (hg, hv [][]complex128, meanHx, meanHz []floa
 			meanHz[i] = real(h[2][base+i])
 		}
 	}
-	return hg, hv, meanHx, meanHz
 }

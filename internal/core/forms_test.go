@@ -18,8 +18,14 @@ func TestFormsAgreeWhenResolved(t *testing.T) {
 	s.SetLaminar()
 	s.Perturb(0.4, 2, 2, 9)
 
-	hgD, hvD, mxD, _ := s.divergenceTerms()
-	hgC, hvC, mxC, _ := s.convectiveTerms()
+	ny := cfg.Ny
+	hgD, hvD := allocCoef(s.nw, ny), allocCoef(s.nw, ny)
+	mxD, mzD := make([]float64, ny), make([]float64, ny)
+	s.divergenceTerms(hgD, hvD, mxD, mzD)
+	hgC, hvC := allocCoef(s.nw, ny), allocCoef(s.nw, ny)
+	mxC, mzC := make([]float64, ny), make([]float64, ny)
+	s.convectiveTerms(hgC, hvC, mxC, mzC)
+	_, _ = mzD, mzC
 	maxHg, maxHv, scale := 0.0, 0.0, 0.0
 	for w := 0; w < s.nw; w++ {
 		ikx, ikz := s.modeOf(w)

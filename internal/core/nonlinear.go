@@ -13,6 +13,10 @@ package core
 // the divergence-form right-hand sides — see DESIGN.md for the accounting
 // difference, which the machine model (not this code) normalizes back to
 // the paper's five.
+//
+// Every buffer in the pipeline comes from the solver's workspace arena
+// (workspace.go); the steady state allocates nothing beyond the closure
+// headers handed to the worker pool.
 
 import (
 	"math"
@@ -34,56 +38,53 @@ const (
 func (s *Solver) products() [][]complex128 {
 	d := s.D
 	g := s.G
+	ws := s.ws
 	nz, mz := g.Nz, g.MZ()
 	nkx, mx := g.NKx(), g.MX()
 
 	// (a) y-pencils -> z-pencils for u, v, w.
 	vel := s.velocityValues()
-	zp := d.YtoZ(nil, vel)
+	zp := d.YtoZ(ws.zpVel[:3], vel)
 
 	// (b)+(c) pad in z and inverse transform, line by line.
 	kxloc := s.kxhi - s.kxlo
 	yl, yh := d.YRange()
 	nyLoc := yh - yl
 	linesZ := kxloc * nyLoc
-	zphys := make([][]complex128, 3)
-	for f := 0; f < 3; f++ {
-		zphys[f] = make([]complex128, linesZ*mz)
-		src, dst := zp[f], zphys[f]
-		s.pool().ForBlocks(linesZ, func(lo, hi int) {
-			scratch := make([]complex128, mz)
+	zphys := ws.zphys[:3]
+	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
+		scratch := ws.workers[blk].zscr
+		for f := 0; f < 3; f++ {
+			src, dst := zp[f], zphys[f]
 			for l := lo; l < hi; l++ {
 				s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], src[l*nz:(l+1)*nz], scratch)
 			}
-		})
-	}
+		}
+	})
 
 	// (d) z-pencils -> x-pencils.
-	xp := d.ZtoX(nil, zphys, mz)
+	xp := d.ZtoX(ws.xp[:3], zphys, mz)
 
 	// (e)+(f)+(g)+(h-start): one threaded block spans the inverse x
 	// transform, the pointwise products, and the forward x transform.
 	zxl, zxh := d.ZRangeX(mz)
 	nzLoc := zxh - zxl
 	linesX := nyLoc * nzLoc
-	prodX := make([][]complex128, nProducts)
-	for f := range prodX {
-		prodX[f] = make([]complex128, linesX*nkx)
-	}
+	prodX := ws.prodX
 	yl0, _ := d.YRange()
-	locMaxU := make([]float64, s.Cfg.Ny)
-	locMaxV := make([]float64, s.Cfg.Ny)
-	locMaxW := make([]float64, s.Cfg.Ny)
+	zeroF(ws.locMaxU)
+	zeroF(ws.locMaxV)
+	zeroF(ws.locMaxW)
 	var maxMu sync.Mutex
-	s.pool().ForBlocks(linesX, func(lo, hi int) {
-		pu := make([]float64, mx)
-		pv := make([]float64, mx)
-		pw := make([]float64, mx)
-		pp := make([]float64, mx)
-		scratch := make([]complex128, mx/2+1)
-		blkU := make([]float64, s.Cfg.Ny)
-		blkV := make([]float64, s.Cfg.Ny)
-		blkW := make([]float64, s.Cfg.Ny)
+	s.pool().ForBlocksIndexed(linesX, func(blk, lo, hi int) {
+		w := &ws.workers[blk]
+		pu, pv, pw := w.phys[0], w.phys[1], w.phys[2]
+		pp := w.prod
+		scratch := w.xscr
+		blkU, blkV, blkW := w.rl[0], w.rl[1], w.rl[2]
+		zeroF(blkU)
+		zeroF(blkV)
+		zeroF(blkW)
 		for l := lo; l < hi; l++ {
 			s.padX.InversePaddedScratch(pu, xp[0][l*nkx:(l+1)*nkx], scratch)
 			s.padX.InversePaddedScratch(pv, xp[1][l*nkx:(l+1)*nkx], scratch)
@@ -110,92 +111,99 @@ func (s *Solver) products() [][]complex128 {
 			forward(pWW, pw, pw)
 		}
 		maxMu.Lock()
-		for y := range locMaxU {
-			locMaxU[y] = math.Max(locMaxU[y], blkU[y])
-			locMaxV[y] = math.Max(locMaxV[y], blkV[y])
-			locMaxW[y] = math.Max(locMaxW[y], blkW[y])
+		for y := range ws.locMaxU {
+			ws.locMaxU[y] = math.Max(ws.locMaxU[y], blkU[y])
+			ws.locMaxV[y] = math.Max(ws.locMaxV[y], blkV[y])
+			ws.locMaxW[y] = math.Max(ws.locMaxW[y], blkW[y])
 		}
 		maxMu.Unlock()
 	})
 	s.physMaxMu.Lock()
-	s.physMaxU, s.physMaxV, s.physMaxW = locMaxU, locMaxV, locMaxW
+	copy(s.physMaxU, ws.locMaxU)
+	copy(s.physMaxV, ws.locMaxV)
+	copy(s.physMaxW, ws.locMaxW)
 	s.physMaxCurrent = true
 	s.physMaxMu.Unlock()
 
 	// (h) reverse path: x-pencils -> z-pencils, forward z with truncation,
 	// z-pencils -> y-pencils.
-	zp2 := d.XtoZ(nil, prodX, mz)
-	zspec := make([][]complex128, nProducts)
-	for f := range zspec {
-		zspec[f] = make([]complex128, linesZ*nz)
-		src, dst := zp2[f], zspec[f]
-		s.pool().ForBlocks(linesZ, func(lo, hi int) {
-			scratch := make([]complex128, mz)
+	zp2 := d.XtoZ(ws.zpProd, prodX, mz)
+	zspec := ws.zspec
+	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
+		scratch := ws.workers[blk].zscr
+		for f := 0; f < nProducts; f++ {
+			src, dst := zp2[f], zspec[f]
 			for l := lo; l < hi; l++ {
 				s.padZ.ForwardTruncatedScratch(dst[l*nz:(l+1)*nz], src[l*mz:(l+1)*mz], scratch)
 			}
-		})
-	}
-	return d.ZtoY(nil, zspec)
+		}
+	})
+	return d.ZtoY(ws.prodsY, zspec)
 }
 
 // nonlinearTerms evaluates h_g and h_v (collocation values per local
 // wavenumber) and the mean-flow forcing profiles on the owner rank,
 // dispatching on the configured convective-term form. With
-// DisableNonlinear it returns zeros.
+// DisableNonlinear it returns zeros. The returned slices are the arena's
+// current-substep buffers; StepOnce swaps them with the previous-substep
+// buffers after the advance.
 func (s *Solver) nonlinearTerms() (hg, hv [][]complex128, meanHx, meanHz []float64) {
 	ny := s.Cfg.Ny
-	hg = allocCoef(s.nw, ny)
-	hv = allocCoef(s.nw, ny)
-	if s.ownsMean {
-		meanHx = make([]float64, ny)
-		meanHz = make([]float64, ny)
-	}
+	ws := s.ws
+	hg, hv = ws.hgCur, ws.hvCur
+	meanHx, meanHz = ws.meanHxCur, ws.meanHzCur
 	if s.Cfg.DisableNonlinear {
+		for w := 0; w < s.nw; w++ {
+			zeroC(hg[w])
+			zeroC(hv[w])
+		}
+		if s.ownsMean {
+			zeroF(meanHx)
+			zeroF(meanHz)
+		}
 		return hg, hv, meanHx, meanHz
 	}
 	switch s.Cfg.Nonlinear {
 	case FormConvective:
-		return s.convectiveTerms()
+		s.convectiveTerms(hg, hv, meanHx, meanHz)
 	case FormSkewSymmetric:
-		hgD, hvD, mxD, mzD := s.divergenceTerms()
-		hgC, hvC, mxC, mzC := s.convectiveTerms()
+		s.ensureAlt()
+		s.divergenceTerms(hg, hv, meanHx, meanHz)
+		s.convectiveTerms(ws.hgAlt, ws.hvAlt, ws.meanHxAlt, ws.meanHzAlt)
 		half := complex(0.5, 0)
 		for w := 0; w < s.nw; w++ {
 			for i := 0; i < ny; i++ {
-				hgD[w][i] = half * (hgD[w][i] + hgC[w][i])
-				hvD[w][i] = half * (hvD[w][i] + hvC[w][i])
+				hg[w][i] = half * (hg[w][i] + ws.hgAlt[w][i])
+				hv[w][i] = half * (hv[w][i] + ws.hvAlt[w][i])
 			}
 		}
 		if s.ownsMean {
 			for i := 0; i < ny; i++ {
-				mxD[i] = (mxD[i] + mxC[i]) / 2
-				mzD[i] = (mzD[i] + mzC[i]) / 2
+				meanHx[i] = (meanHx[i] + ws.meanHxAlt[i]) / 2
+				meanHz[i] = (meanHz[i] + ws.meanHzAlt[i]) / 2
 			}
 		}
-		return hgD, hvD, mxD, mzD
 	default:
-		return s.divergenceTerms()
+		s.divergenceTerms(hg, hv, meanHx, meanHz)
 	}
+	return hg, hv, meanHx, meanHz
 }
 
-// divergenceTerms is the paper's path: six dealiased quadratic products.
-func (s *Solver) divergenceTerms() (hg, hv [][]complex128, meanHx, meanHz []float64) {
+// divergenceTerms is the paper's path: six dealiased quadratic products,
+// assembled into the caller-provided output buffers.
+func (s *Solver) divergenceTerms(hg, hv [][]complex128, meanHx, meanHz []float64) {
 	ny := s.Cfg.Ny
-	hg = allocCoef(s.nw, ny)
-	hv = allocCoef(s.nw, ny)
-	if s.ownsMean {
-		meanHx = make([]float64, ny)
-		meanHz = make([]float64, ny)
-	}
+	ws := s.ws
 	prods := s.products()
 
-	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
-		sv := make([]complex128, ny)  // S  = i*kx*uv + i*kz*vw
-		sg := make([]complex128, ny)  // Sg = i*kz*uv - i*kx*vw
-		tv := make([]complex128, ny)  // T  = kx^2*uu + 2*kx*kz*uw + kz^2*ww
-		vv := make([]complex128, ny)  // vv
-		tmp := make([]complex128, ny) // derivative values
+	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
+		wk := &ws.workers[blk]
+		sv := wk.ln[0]  // S  = i*kx*uv + i*kz*vw
+		sg := wk.ln[1]  // Sg = i*kz*uv - i*kx*vw
+		tv := wk.ln[2]  // T  = kx^2*uu + 2*kx*kz*uw + kz^2*ww
+		vv := wk.ln[3]  // vv
+		tmp := wk.ln[4] // derivative values
+		sol := wk.ln[5] // banded-solve right-hand side
 		for w := wlo; w < whi; w++ {
 			ikx, ikz := s.modeOf(w)
 			if s.G.IsNyquistZ(ikz) || (ikx == 0 && ikz == 0) {
@@ -217,9 +225,9 @@ func (s *Solver) divergenceTerms() (hg, hv [][]complex128, meanHx, meanHz []floa
 				vv[i] = prods[pVV][base+i]
 			}
 			// h_g = kx*kz*(uu-ww) - (kx^2-kz^2)*uw - d/dy(Sg)
-			cSg := append([]complex128(nil), sg...)
-			s.b0fac.SolveComplex(cSg)
-			s.b1.MulVecComplex(tmp, cSg)
+			copy(sol, sg)
+			s.b0fac.SolveComplex(sol)
+			s.b1.MulVecComplex(tmp, sol)
 			hgw := hg[w]
 			for i := 0; i < ny; i++ {
 				hgw[i] = complex(kx*kz, 0)*(prods[pUU][base+i]-prods[pWW][base+i]) -
@@ -228,21 +236,21 @@ func (s *Solver) divergenceTerms() (hg, hv [][]complex128, meanHx, meanHz []floa
 			// h_v = k2*S + k2*d/dy(vv) - d/dy(T) + d2/dy2(S)
 			hvw := hv[w]
 			ck2 := complex(k2, 0)
-			cS := append([]complex128(nil), sv...)
-			s.b0fac.SolveComplex(cS)
-			s.b2.MulVecComplex(tmp, cS)
+			copy(sol, sv)
+			s.b0fac.SolveComplex(sol)
+			s.b2.MulVecComplex(tmp, sol)
 			for i := 0; i < ny; i++ {
 				hvw[i] = ck2*sv[i] + tmp[i]
 			}
-			cV := append([]complex128(nil), vv...)
-			s.b0fac.SolveComplex(cV)
-			s.b1.MulVecComplex(tmp, cV)
+			copy(sol, vv)
+			s.b0fac.SolveComplex(sol)
+			s.b1.MulVecComplex(tmp, sol)
 			for i := 0; i < ny; i++ {
 				hvw[i] += ck2 * tmp[i]
 			}
-			cT := append([]complex128(nil), tv...)
-			s.b0fac.SolveComplex(cT)
-			s.b1.MulVecComplex(tmp, cT)
+			copy(sol, tv)
+			s.b0fac.SolveComplex(sol)
+			s.b1.MulVecComplex(tmp, sol)
 			for i := 0; i < ny; i++ {
 				hvw[i] -= tmp[i]
 			}
@@ -253,8 +261,8 @@ func (s *Solver) divergenceTerms() (hg, hv [][]complex128, meanHx, meanHz []floa
 		// Mean momentum: H_x(0,0) = -d<uv>/dy, H_z(0,0) = -d<vw>/dy.
 		w00 := s.widx(0, 0)
 		base := w00 * ny
-		cuv := make([]float64, ny)
-		cvw := make([]float64, ny)
+		cuv := ws.meanS0
+		cvw := ws.meanS1
 		for i := 0; i < ny; i++ {
 			cuv[i] = real(prods[pUV][base+i])
 			cvw[i] = real(prods[pVW][base+i])
@@ -268,5 +276,4 @@ func (s *Solver) divergenceTerms() (hg, hv [][]complex128, meanHx, meanHz []floa
 			meanHz[i] = -meanHz[i]
 		}
 	}
-	return hg, hv, meanHx, meanHz
 }

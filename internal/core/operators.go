@@ -194,9 +194,10 @@ func (s *Solver) ensureOps(dt float64) {
 	}
 }
 
-// applyHelmValues computes (B2 - k2*B0)*c as collocation values.
-func (s *Solver) applyHelmValues(dst, c []complex128, k2 float64) {
-	tmp := make([]complex128, len(c))
+// applyHelmValues computes (B2 - k2*B0)*c as collocation values, using tmp
+// (length >= len(c)) as scratch so the per-substep hot path allocates
+// nothing.
+func (s *Solver) applyHelmValues(dst, c []complex128, k2 float64, tmp []complex128) {
 	s.b2.MulVecComplex(dst, c)
 	s.b0.MulVecComplex(tmp, c)
 	ck2 := complex(k2, 0)

@@ -52,6 +52,9 @@ type Solver struct {
 	padZ *fft.PaddedComplex
 	padX *fft.PaddedReal
 
+	// Steady-state workspace arena (see workspace.go).
+	ws *solverWS
+
 	// Per-y maxima of |u|, |v|, |w| on the physical grid, harvested for
 	// free during the most recent nonlinear evaluation (local to this
 	// rank's y range; zero elsewhere). Used by CFLEstimate.
@@ -117,6 +120,7 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 	s.physMaxU = make([]float64, cfg.Ny)
 	s.physMaxV = make([]float64, cfg.Ny)
 	s.physMaxW = make([]float64, cfg.Ny)
+	s.ws = s.newWorkspace()
 	return s, nil
 }
 

@@ -14,9 +14,13 @@ func (s *Solver) StepOnce() {
 	for sub := 0; sub < 3; sub++ {
 		hg, hv, mHx, mHz := s.nonlinearTerms()
 		s.advanceSubstep(sub, dt, hg, hv, mHx, mHz)
-		s.hgPrev, s.hvPrev = hg, hv
+		// Swap current and previous nonlinear buffers instead of
+		// reallocating; nonlinearTerms fully rewrites the current set.
+		s.hgPrev, s.ws.hgCur = hg, s.hgPrev
+		s.hvPrev, s.ws.hvCur = hv, s.hvPrev
 		if s.ownsMean {
-			s.meanHxPrev, s.meanHzPrev = mHx, mHz
+			s.meanHxPrev, s.ws.meanHxCur = mHx, s.meanHxPrev
+			s.meanHzPrev, s.ws.meanHzCur = mHz, s.meanHzPrev
 		}
 	}
 	s.Time += dt
@@ -72,11 +76,13 @@ func (s *Solver) advanceSubstep(sub int, dt float64, hg, hv [][]complex128, mHx,
 	ze := rkZeta[sub]
 	al := rkAlpha[sub] * dt * s.nu
 
-	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
-		rhs := make([]complex128, ny)
-		vals := make([]complex128, ny)
-		lap := make([]complex128, ny)
-		cphi := make([]complex128, ny)
+	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
+		wk := &s.ws.workers[blk]
+		rhs := wk.ln[0]
+		vals := wk.ln[1]
+		lap := wk.ln[2]
+		cphi := wk.ln[3]
+		helmTmp := wk.ln[4]
 		for w := wlo; w < whi; w++ {
 			op := s.ops[w]
 			if op == nil {
@@ -86,7 +92,7 @@ func (s *Solver) advanceSubstep(sub int, dt float64, hg, hv [][]complex128, mHx,
 
 			// --- omega_y advance ---
 			s.b0.MulVecComplex(vals, s.cw[w]) // B0*c = values of omega
-			s.applyHelmValues(lap, s.cw[w], k2)
+			s.applyHelmValues(lap, s.cw[w], k2, helmTmp)
 			for i := 0; i < ny; i++ {
 				rhs[i] = vals[i] + complex(al, 0)*lap[i] +
 					complex(dt, 0)*(complex(ga, 0)*hg[w][i]+complex(ze, 0)*s.hgPrev[w][i])
@@ -98,10 +104,10 @@ func (s *Solver) advanceSubstep(sub int, dt float64, hg, hv [][]complex128, mHx,
 			// --- phi advance ---
 			// phi values at collocation points: (B2 - k2*B0)*c_v;
 			// phi spline coefficients: B0^{-1} of those values.
-			s.applyHelmValues(vals, s.cv[w], k2) // vals = phi values
+			s.applyHelmValues(vals, s.cv[w], k2, helmTmp) // vals = phi values
 			copy(cphi, vals)
 			s.b0fac.SolveComplex(cphi)
-			s.applyHelmValues(lap, cphi, k2) // (d2-k2) phi values
+			s.applyHelmValues(lap, cphi, k2, helmTmp) // (d2-k2) phi values
 			for i := 0; i < ny; i++ {
 				rhs[i] = vals[i] + complex(al, 0)*lap[i] +
 					complex(dt, 0)*(complex(ga, 0)*hv[w][i]+complex(ze, 0)*s.hvPrev[w][i])
@@ -145,8 +151,8 @@ func (s *Solver) advanceMean(sub int, dt float64, mHx, mHz []float64) {
 	f := s.Cfg.Forcing
 
 	adv := func(c []float64, h, hPrev []float64, forcing float64) {
-		rhs := make([]float64, ny)
-		lap := make([]float64, ny)
+		rhs := s.ws.meanS0
+		lap := s.ws.meanS1
 		s.b0.MulVec(rhs, c)
 		s.b2.MulVec(lap, c)
 		for i := 0; i < ny; i++ {

@@ -17,17 +17,17 @@ import (
 
 // velocityValues evaluates the three velocity components at the collocation
 // points for every locally owned mode, in the y-pencil layout
-// [kxLoc][kzLoc][Ny] expected by the pencil transposes. Returns {u, v, w}.
+// [kxLoc][kzLoc][Ny] expected by the pencil transposes. Returns {u, v, w},
+// backed by the arena's velocity buffers.
 func (s *Solver) velocityValues() [][]complex128 {
 	ny := s.Cfg.Ny
-	out := make([][]complex128, 3)
-	for f := range out {
-		out[f] = make([]complex128, s.nw*ny)
-	}
-	s.pool().ForBlocks(s.nw, func(wlo, whi int) {
-		vy := make([]complex128, ny)
-		om := make([]complex128, ny)
-		vv := make([]complex128, ny)
+	ws := s.ws
+	out := ws.velY[:3]
+	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
+		wk := &ws.workers[blk]
+		vy := wk.ln[0]
+		om := wk.ln[1]
+		vv := wk.ln[2]
 		for w := wlo; w < whi; w++ {
 			ikx, ikz := s.modeOf(w)
 			base := w * ny
@@ -36,8 +36,8 @@ func (s *Solver) velocityValues() [][]complex128 {
 			}
 			if ikx == 0 && ikz == 0 {
 				if s.ownsMean {
-					uvals := make([]float64, ny)
-					wvals := make([]float64, ny)
+					uvals := wk.rl[0]
+					wvals := wk.rl[1]
 					s.b0.MulVec(uvals, s.meanU)
 					s.b0.MulVec(wvals, s.meanW)
 					for i := 0; i < ny; i++ {

@@ -80,6 +80,9 @@ func (p *PaddedComplex) SpectralLen() int { return p.n }
 // PhysicalLen returns m, the quadrature grid size.
 func (p *PaddedComplex) PhysicalLen() int { return p.m }
 
+// ScratchLen returns the scratch length the Scratch variants require.
+func (p *PaddedComplex) ScratchLen() int { return p.m }
+
 // InversePadded fills phys (length m) with the unnormalized inverse
 // transform of the zero-padded spectrum spec (length n). Not safe for
 // concurrent use; see InversePaddedScratch.
@@ -125,7 +128,9 @@ func NewPaddedReal(nk, m int) *PaddedReal {
 	if m/2+1 < nk {
 		panic("fft: padded real transform needs m/2+1 >= nk")
 	}
-	return &PaddedReal{nk: nk, m: m, plan: NewRealPlan(m), buf: make([]complex128, m/2+1)}
+	p := &PaddedReal{nk: nk, m: m, plan: NewRealPlan(m)}
+	p.buf = make([]complex128, p.ScratchLen())
+	return p
 }
 
 // SpectralLen returns the number of one-sided modes carried.
@@ -133,6 +138,10 @@ func (p *PaddedReal) SpectralLen() int { return p.nk }
 
 // PhysicalLen returns the quadrature grid size.
 func (p *PaddedReal) PhysicalLen() int { return p.m }
+
+// ScratchLen returns the scratch length the Scratch variants require: the
+// half-complex spectrum image plus the underlying real plan's own scratch.
+func (p *PaddedReal) ScratchLen() int { return p.m/2 + 1 + p.plan.ScratchLen() }
 
 // InversePadded fills phys (length m) with the unnormalized inverse real
 // transform of the zero-padded one-sided spectrum spec (length nk). Not
@@ -142,13 +151,16 @@ func (p *PaddedReal) InversePadded(phys []float64, spec []complex128) {
 }
 
 // InversePaddedScratch is InversePadded with caller-provided scratch of
-// length m/2+1, safe for concurrent use with distinct scratch.
+// length ScratchLen(), safe for concurrent use with distinct scratch and
+// free of allocations.
 func (p *PaddedReal) InversePaddedScratch(phys []float64, spec, scratch []complex128) {
-	copy(scratch[:p.nk], spec[:p.nk])
-	for i := p.nk; i < p.m/2+1; i++ {
-		scratch[i] = 0
+	nc := p.m/2 + 1
+	half, rest := scratch[:nc], scratch[nc:]
+	copy(half[:p.nk], spec[:p.nk])
+	for i := p.nk; i < nc; i++ {
+		half[i] = 0
 	}
-	p.plan.Inverse(phys, scratch)
+	p.plan.InverseScratch(phys, half, rest)
 }
 
 // ForwardTruncated transforms phys forward and keeps the nk resolved
@@ -159,11 +171,14 @@ func (p *PaddedReal) ForwardTruncated(spec []complex128, phys []float64) {
 }
 
 // ForwardTruncatedScratch is ForwardTruncated with caller-provided scratch
-// of length m/2+1, safe for concurrent use with distinct scratch.
+// of length ScratchLen(), safe for concurrent use with distinct scratch and
+// free of allocations.
 func (p *PaddedReal) ForwardTruncatedScratch(spec []complex128, phys []float64, scratch []complex128) {
-	p.plan.Forward(scratch, phys)
+	nc := p.m/2 + 1
+	half, rest := scratch[:nc], scratch[nc:]
+	p.plan.ForwardScratch(half, phys, rest)
 	s := complex(1/float64(p.m), 0)
 	for k := 0; k < p.nk; k++ {
-		spec[k] = scratch[k] * s
+		spec[k] = half[k] * s
 	}
 }

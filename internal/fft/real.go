@@ -17,6 +17,9 @@ type RealPlan struct {
 	full *Plan // length n when n is odd
 	// twiddles w^k = exp(-2*pi*i*k/n) for k in [0, n/2]
 	w []complex128
+	// owned scratch backing the nil-scratch convenience paths; using it
+	// makes Forward/Inverse non-concurrent (see ForwardScratch).
+	scratch []complex128
 }
 
 // NewRealPlan creates a real transform plan for length n > 0.
@@ -41,7 +44,19 @@ func NewRealPlan(n int) *RealPlan {
 	} else {
 		p.full = NewPlan(n)
 	}
+	p.scratch = make([]complex128, p.ScratchLen())
 	return p
+}
+
+// ScratchLen returns the scratch length (in complex128 elements) that
+// ForwardScratch and InverseScratch require: room for both the packed
+// input and the transform output, so the underlying complex plan runs
+// out-of-place and allocates nothing.
+func (p *RealPlan) ScratchLen() int {
+	if p.full != nil {
+		return 2 * p.n
+	}
+	return p.n // n/2 packed input + n/2 transform output
 }
 
 // Len returns the physical (real) length.
@@ -52,30 +67,42 @@ func (p *RealPlan) NumModes() int { return p.nc }
 
 // Forward computes the half-complex spectrum of the real sequence src.
 // dst must have length >= NumModes(); src must have length >= Len().
+// It uses the plan's owned scratch, so concurrent calls on one plan must
+// go through ForwardScratch with distinct scratch instead.
 func (p *RealPlan) Forward(dst []complex128, src []float64) {
+	p.ForwardScratch(dst, src, p.scratch)
+}
+
+// ForwardScratch is Forward with caller-provided scratch of length
+// ScratchLen(); it performs no allocations and is safe for concurrent use
+// of one plan with distinct dst/scratch.
+func (p *RealPlan) ForwardScratch(dst []complex128, src []float64, scratch []complex128) {
 	if len(dst) < p.nc || len(src) < p.n {
 		panic("fft: real forward slice lengths")
 	}
+	if len(scratch) < p.ScratchLen() {
+		panic("fft: real forward scratch length")
+	}
 	if p.full != nil {
-		buf := make([]complex128, p.n)
+		buf, out := scratch[:p.n], scratch[p.n:2*p.n]
 		for j, v := range src[:p.n] {
 			buf[j] = complex(v, 0)
 		}
-		p.full.Forward(buf, buf)
-		copy(dst, buf[:p.nc])
+		p.full.Forward(out, buf)
+		copy(dst, out[:p.nc])
 		return
 	}
 	h := p.n / 2
-	z := make([]complex128, h)
+	z, zt := scratch[:h], scratch[h:2*h]
 	for j := 0; j < h; j++ {
 		z[j] = complex(src[2*j], src[2*j+1])
 	}
-	p.half.Forward(z, z)
+	p.half.Forward(zt, z)
 	// Unpack: E[k] = (Z[k]+conj(Z[h-k]))/2, O[k] = (Z[k]-conj(Z[h-k]))/(2i),
 	// X[k] = E[k] + w^k O[k] for k = 0..h (Z periodic with Z[h] = Z[0]).
 	for k := 0; k <= h; k++ {
-		zk := z[k%h]
-		zr := conj(z[(h-k)%h])
+		zk := zt[k%h]
+		zr := conj(zt[(h-k)%h])
 		e := (zk + zr) * complex(0.5, 0)
 		o := (zk - zr) * complex(0, -0.5)
 		dst[k] = e + p.w[k]*o
@@ -85,26 +112,37 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) {
 // Inverse computes the unnormalized inverse of a half-complex spectrum,
 // writing a real sequence of length Len(). The imaginary parts of src[0]
 // and, for even N, src[N/2] are ignored (they must be zero for a valid
-// Hermitian spectrum). Inverse(Forward(x)) == N*x.
+// Hermitian spectrum). Inverse(Forward(x)) == N*x. It uses the plan's
+// owned scratch; concurrent callers must use InverseScratch.
 func (p *RealPlan) Inverse(dst []float64, src []complex128) {
+	p.InverseScratch(dst, src, p.scratch)
+}
+
+// InverseScratch is Inverse with caller-provided scratch of length
+// ScratchLen(); it performs no allocations and is safe for concurrent use
+// of one plan with distinct dst/scratch.
+func (p *RealPlan) InverseScratch(dst []float64, src, scratch []complex128) {
 	if len(dst) < p.n || len(src) < p.nc {
 		panic("fft: real inverse slice lengths")
 	}
+	if len(scratch) < p.ScratchLen() {
+		panic("fft: real inverse scratch length")
+	}
 	if p.full != nil {
-		buf := make([]complex128, p.n)
+		buf, out := scratch[:p.n], scratch[p.n:2*p.n]
 		copy(buf, src[:p.nc])
 		buf[0] = complex(real(src[0]), 0)
 		for k := p.nc; k < p.n; k++ {
 			buf[k] = conj(buf[p.n-k])
 		}
-		p.full.Inverse(buf, buf)
+		p.full.Inverse(out, buf)
 		for j := 0; j < p.n; j++ {
-			dst[j] = real(buf[j])
+			dst[j] = real(out[j])
 		}
 		return
 	}
 	h := p.n / 2
-	z := make([]complex128, h)
+	z, zt := scratch[:h], scratch[h:2*h]
 	x0 := complex(real(src[0]), 0)
 	xh := complex(real(src[h]), 0)
 	for k := 0; k < h; k++ {
@@ -121,10 +159,10 @@ func (p *RealPlan) Inverse(dst []float64, src []complex128) {
 		o := conj(p.w[k]) * wo
 		z[k] = e + complex(0, 1)*o
 	}
-	p.half.Inverse(z, z)
+	p.half.Inverse(zt, z)
 	for j := 0; j < h; j++ {
-		dst[2*j] = 2 * real(z[j])
-		dst[2*j+1] = 2 * imag(z[j])
+		dst[2*j] = 2 * real(zt[j])
+		dst[2*j+1] = 2 * imag(zt[j])
 	}
 }
 

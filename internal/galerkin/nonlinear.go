@@ -121,7 +121,7 @@ func (s *Solver) products() [][]complex128 {
 		pv := make([]float64, mx)
 		pw := make([]float64, mx)
 		pp := make([]float64, mx)
-		scratch := make([]complex128, mx/2+1)
+		scratch := make([]complex128, s.padX.ScratchLen())
 		for l := lo; l < hi; l++ {
 			s.padX.InversePaddedScratch(pu, xp[0][l*nkx:(l+1)*nkx], scratch)
 			s.padX.InversePaddedScratch(pv, xp[1][l*nkx:(l+1)*nkx], scratch)

@@ -125,19 +125,37 @@ func Alltoall[T any](c *Comm, data []T, blockLen int) []T {
 	return Alltoallv(c, data, counts, displs, counts, displs)
 }
 
-// AlltoallvOverlap is Alltoallv built on nonblocking operations: all sends
-// are posted up front and receives complete in arrival order, the
-// communication/computation-overlap pattern real transpose implementations
-// use. Results are identical to Alltoallv.
-func AlltoallvOverlap[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
-	p := c.size()
+// recvTotal returns the receive-buffer length implied by the count and
+// displacement tables.
+func recvTotal(p int, recvCounts, recvDispls []int) int {
 	total := 0
 	for i := 0; i < p; i++ {
 		if e := recvDispls[i] + recvCounts[i]; e > total {
 			total = e
 		}
 	}
-	out := make([]T, total)
+	return total
+}
+
+// AlltoallvOverlap is Alltoallv built on nonblocking operations: all sends
+// are posted up front and receives complete in arrival order, the
+// communication/computation-overlap pattern real transpose implementations
+// use. Results are identical to Alltoallv.
+func AlltoallvOverlap[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+	return AlltoallvOverlapInto(c, nil, data, sendCounts, sendDispls, recvCounts, recvDispls)
+}
+
+// AlltoallvOverlapInto is AlltoallvOverlap with a caller-provided receive
+// buffer, the form the preplanned pencil transposes use so that the
+// steady state performs no allocations beyond the per-message payload
+// copies the eager-send runtime requires. A nil (or too-short) out buffer
+// is replaced by a fresh allocation.
+func AlltoallvOverlapInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+	p := c.size()
+	total := recvTotal(p, recvCounts, recvDispls)
+	if len(out) < total {
+		out = make([]T, total)
+	}
 	copy(out[recvDispls[c.rank]:recvDispls[c.rank]+recvCounts[c.rank]],
 		data[sendDispls[c.rank]:sendDispls[c.rank]+sendCounts[c.rank]])
 	// Post every receive first (reserved collective tag, in-package), then
@@ -176,14 +194,20 @@ func AlltoallvOverlap[T any](c *Comm, data []T, sendCounts, sendDispls, recvCoun
 // (r - s mod P) and (r + s mod P), the same linear-shift schedule MPI
 // implementations use to avoid hot spots.
 func Alltoallv[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+	return AlltoallvInto(c, nil, data, sendCounts, sendDispls, recvCounts, recvDispls)
+}
+
+// AlltoallvInto is Alltoallv with a caller-provided receive buffer (see
+// AlltoallvOverlapInto). The send buffer is free for reuse as soon as the
+// call returns on this rank: each per-peer block is copied into the
+// message before it is posted, which is exactly what lets the pencil
+// transpose plans keep the paper's 1x communication-buffer discipline.
+func AlltoallvInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
 	p := c.size()
-	total := 0
-	for i := 0; i < p; i++ {
-		if e := recvDispls[i] + recvCounts[i]; e > total {
-			total = e
-		}
+	total := recvTotal(p, recvCounts, recvDispls)
+	if len(out) < total {
+		out = make([]T, total)
 	}
-	out := make([]T, total)
 	// Self block first (pure copy, no message).
 	copy(out[recvDispls[c.rank]:recvDispls[c.rank]+recvCounts[c.rank]],
 		data[sendDispls[c.rank]:sendDispls[c.rank]+sendCounts[c.rank]])

@@ -4,6 +4,15 @@
 // blocked on-node data reordering. As in the paper, the degree of
 // parallelism may differ per site, which is why kernels take a *Pool rather
 // than consulting a global setting.
+//
+// Workers are persistent: the pool spawns its goroutines once (lazily, on
+// the first parallel loop) and feeds them work spans through preallocated
+// channels, so steady-state For/ForBlocks calls pay no goroutine-spawn or
+// WaitGroup churn and perform no allocations. Loop submissions from
+// different goroutines (e.g. different in-process MPI ranks sharing one
+// pool) are serialized by a mutex; loop bodies must therefore never invoke
+// a parallel loop on the same pool (nested parallelism would deadlock) and
+// must not block on communication with another rank that shares the pool.
 package par
 
 import (
@@ -14,7 +23,33 @@ import (
 // Pool executes parallel loops with a fixed number of workers.
 // The zero value and a nil *Pool both run serially.
 type Pool struct {
-	n int
+	n    int
+	once sync.Once
+	c    *workers
+}
+
+// span is one contiguous block of a parallel loop. idx is unique among the
+// spans of a single submission, which lets callers key per-worker scratch
+// off it (ForBlocksIndexed).
+type span struct{ idx, lo, hi int }
+
+// workers is the shared state referenced by the worker goroutines. It is
+// deliberately separate from Pool so an abandoned Pool becomes unreachable
+// and its finalizer can shut the goroutines down.
+type workers struct {
+	n    int
+	work chan span
+	done chan struct{}
+
+	mu sync.Mutex // serializes loop submissions
+	// Exactly one of the three loop bodies is non-nil while a submission is
+	// in flight; the work-channel send/receive orders these writes before
+	// the workers' reads.
+	fnB  func(lo, hi int)
+	fnBI func(blk, lo, hi int)
+	fnE  func(i int)
+
+	closeOnce sync.Once
 }
 
 // NewPool returns a pool with n workers; n <= 0 selects GOMAXPROCS.
@@ -33,15 +68,91 @@ func (p *Pool) Workers() int {
 	return p.n
 }
 
+// start lazily spawns the persistent workers.
+func (p *Pool) start() *workers {
+	p.once.Do(func() {
+		c := &workers{
+			n:    p.n,
+			work: make(chan span, p.n),
+			done: make(chan struct{}, p.n),
+		}
+		for k := 0; k < p.n; k++ {
+			go c.run()
+		}
+		p.c = c
+		// Workers reference only c, so a dropped Pool is collectable; stop
+		// the goroutines when that happens. Close is the explicit form.
+		runtime.SetFinalizer(p, func(p *Pool) { p.c.close() })
+	})
+	return p.c
+}
+
+// Close shuts down the persistent workers. It is safe to call on a nil
+// pool, more than once, or on a pool whose workers never started; using
+// the pool after Close panics. Pools that are simply dropped are cleaned
+// up by a finalizer, so Close is only needed for deterministic shutdown.
+func (p *Pool) Close() {
+	if p == nil || p.c == nil {
+		return
+	}
+	runtime.SetFinalizer(p, nil)
+	p.c.close()
+}
+
+func (c *workers) close() {
+	if c == nil {
+		return
+	}
+	c.closeOnce.Do(func() { close(c.work) })
+}
+
+func (c *workers) run() {
+	for sp := range c.work {
+		switch {
+		case c.fnBI != nil:
+			c.fnBI(sp.idx, sp.lo, sp.hi)
+		case c.fnB != nil:
+			c.fnB(sp.lo, sp.hi)
+		case c.fnE != nil:
+			for i := sp.lo; i < sp.hi; i++ {
+				c.fnE(i)
+			}
+		}
+		c.done <- struct{}{}
+	}
+}
+
+// dispatch fans [0, n) out as w spans and waits for their completion.
+// Callers hold c.mu and have installed exactly one loop body.
+func (c *workers) dispatch(n, w int) {
+	for k := 0; k < w; k++ {
+		c.work <- span{idx: k, lo: k * n / w, hi: (k + 1) * n / w}
+	}
+	for k := 0; k < w; k++ {
+		<-c.done
+	}
+}
+
 // For runs fn(i) for every i in [0, n), partitioned into contiguous chunks
 // across the workers. fn must be safe for concurrent invocation on distinct
 // indices.
 func (p *Pool) For(n int, fn func(i int)) {
-	p.ForBlocks(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	w := p.Workers()
+	if w == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
 			fn(i)
 		}
-	})
+		return
+	}
+	if w > n {
+		w = n
+	}
+	c := p.start()
+	c.mu.Lock()
+	c.fnE = fn
+	c.dispatch(n, w)
+	c.fnE = nil
+	c.mu.Unlock()
 }
 
 // ForBlocks splits [0, n) into one contiguous block per worker and runs
@@ -58,15 +169,33 @@ func (p *Pool) ForBlocks(n int, fn func(lo, hi int)) {
 	if w > n {
 		w = n
 	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	c := p.start()
+	c.mu.Lock()
+	c.fnB = fn
+	c.dispatch(n, w)
+	c.fnB = nil
+	c.mu.Unlock()
+}
+
+// ForBlocksIndexed is ForBlocks with a block index: fn(blk, lo, hi) where
+// blk is unique among the concurrently executing blocks of this call and
+// always < Workers(). Kernels use blk to select preallocated per-worker
+// scratch instead of allocating inside the loop body.
+func (p *Pool) ForBlocksIndexed(n int, fn func(blk, lo, hi int)) {
+	w := p.Workers()
+	if w == 1 || n <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
 	}
-	wg.Wait()
+	if w > n {
+		w = n
+	}
+	c := p.start()
+	c.mu.Lock()
+	c.fnBI = fn
+	c.dispatch(n, w)
+	c.fnBI = nil
+	c.mu.Unlock()
 }

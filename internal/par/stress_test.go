@@ -1,0 +1,120 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolConcurrentSubmitters: many goroutines (standing in for in-process
+// MPI ranks sharing one pool) submit loops concurrently against one
+// persistent pool. Every index of every submission must run exactly once,
+// and block ids must stay < Workers(). Run under -race this exercises the
+// mutex-serialized submission path and the channel handoffs.
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const (
+		submitters = 8
+		rounds     = 50
+		n          = 137
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits := make([]int32, n)
+			for r := 0; r < rounds; r++ {
+				for i := range hits {
+					hits[i] = 0
+				}
+				switch r % 3 {
+				case 0:
+					p.For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				case 1:
+					p.ForBlocks(n, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+				case 2:
+					p.ForBlocksIndexed(n, func(blk, lo, hi int) {
+						if blk < 0 || blk >= p.Workers() {
+							t.Errorf("block id %d out of range [0,%d)", blk, p.Workers())
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+				}
+				for i := range hits {
+					if hits[i] != 1 {
+						t.Errorf("round %d: index %d ran %d times", r, i, hits[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolPerWorkerScratchRace: the ForBlocksIndexed contract — distinct
+// concurrent blocks get distinct ids — must make per-worker scratch safe
+// without atomics. The scratch writes here are racy if and only if two
+// concurrent blocks ever share an id.
+func TestPoolPerWorkerScratchRace(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	scratch := make([][]float64, p.Workers())
+	for i := range scratch {
+		scratch[i] = make([]float64, 64)
+	}
+	for r := 0; r < 200; r++ {
+		p.ForBlocksIndexed(1000, func(blk, lo, hi int) {
+			s := scratch[blk]
+			for i := lo; i < hi; i++ {
+				s[i%len(s)] += float64(i)
+			}
+		})
+	}
+}
+
+// TestPoolCloseIdempotent: Close on nil, never-started, and already-closed
+// pools must all be no-ops.
+func TestPoolCloseIdempotent(t *testing.T) {
+	var nilPool *Pool
+	nilPool.Close()
+
+	fresh := NewPool(2)
+	fresh.Close() // never started
+	fresh.Close()
+
+	used := NewPool(2)
+	var count int32
+	used.For(10, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 10 {
+		t.Fatalf("pre-close loop ran %d indices, want 10", count)
+	}
+	used.Close()
+	used.Close()
+}
+
+// TestPoolSteadyStateAllocs: after warm-up a ForBlocks call with a
+// preassigned function value must not allocate (the persistent workers and
+// preallocated channels are the point of the pool). For/ForBlocksIndexed
+// with closure literals may allocate the closure header; that is the
+// documented per-call cost.
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink int64
+	fn := func(lo, hi int) {
+		atomic.AddInt64(&sink, int64(hi-lo))
+	}
+	p.ForBlocks(1024, fn) // warm up: spawns workers
+	if allocs := testing.AllocsPerRun(20, func() { p.ForBlocks(1024, fn) }); allocs != 0 {
+		t.Errorf("ForBlocks steady state: %v allocs per run, want 0", allocs)
+	}
+}

@@ -12,6 +12,11 @@
 //   - Baseline mirrors P3DFFT 2.5.1's behaviour: the Nyquist mode is carried
 //     through every transpose, scratch buffers total three times the input
 //     size, and there is no shared-memory threading.
+//
+// A Kernel owns its cycle workspace: the four intermediate pencil arrays
+// (per field count) and per-worker FFT line scratch are allocated on first
+// use and reused, so steady-state Cycle calls allocate nothing beyond the
+// pool closure headers.
 package parfft
 
 import (
@@ -35,6 +40,25 @@ type Kernel struct {
 	planX *fft.RealPlan
 	// ballast emulates P3DFFT's extra working buffers; nil for Custom.
 	ballast []complex128
+
+	// Per-worker FFT line scratch, indexed by pool block id.
+	workers []kernelWorker
+	// Reusable intermediate pencil buffers, keyed by field count.
+	bufs map[int]*cycleBufs
+}
+
+// kernelWorker holds one worker's transform scratch.
+type kernelWorker struct {
+	zline []complex128 // z-transform output line (out-of-place)
+	phys  []float64    // physical x line
+	spec  []complex128 // half-complex x spectrum (Nyquist slot included)
+	xscr  []complex128 // real-plan scratch
+}
+
+// cycleBufs holds the intermediate pencil arrays of one cycle for a fixed
+// number of fields.
+type cycleBufs struct {
+	zp, xp, zp2, out [][]complex128
 }
 
 // Timings accumulates per-cycle time split by operation class, the
@@ -71,6 +95,15 @@ func newKernel(world *mpi.Comm, pa, pb, nx, ny, nz int, drop bool, pool *par.Poo
 		D:           pencil.New(world, pa, pb, nkx, nz, ny, pool),
 		planZ:       fft.NewPlan(nz),
 		planX:       fft.NewRealPlan(nx),
+		bufs:        map[int]*cycleBufs{},
+	}
+	k.workers = make([]kernelWorker, pool.Workers())
+	for i := range k.workers {
+		w := &k.workers[i]
+		w.zline = make([]complex128, nz)
+		w.phys = make([]float64, nx)
+		w.spec = make([]complex128, nx/2+1)
+		w.xscr = make([]complex128, k.planX.ScratchLen())
 	}
 	if !drop {
 		// P3DFFT's communication scratch is three times the input array;
@@ -93,82 +126,118 @@ func (k *Kernel) NKx() int { return k.D.NKx }
 // configuration.
 func (k *Kernel) YPencilLen() int { return k.D.YPencilLen() }
 
+// cycleBufsFor returns (building on first use) the intermediate buffers for
+// an nf-field cycle.
+func (k *Kernel) cycleBufsFor(nf int) *cycleBufs {
+	if b, ok := k.bufs[nf]; ok {
+		return b
+	}
+	d := k.D
+	b := &cycleBufs{
+		zp:  allocFields(nf, d.ZPencilLen(d.NZ)),
+		xp:  allocFields(nf, d.XPencilLen(d.NZ)),
+		zp2: allocFields(nf, d.ZPencilLen(d.NZ)),
+		out: allocFields(nf, d.YPencilLen()),
+	}
+	k.bufs[nf] = b
+	return b
+}
+
+func allocFields(nf, n int) [][]complex128 {
+	out := make([][]complex128, nf)
+	for i := range out {
+		out[i] = make([]complex128, n)
+	}
+	return out
+}
+
 // Cycle runs one full parallel-FFT cycle on the given spectral y-pencil
 // fields: y->z transpose, inverse z FFT, z->x transpose, inverse x FFT,
 // then the forward path back to y-pencils. As in the paper's benchmark, no
 // 3/2 padding is applied and the wall-normal direction is untouched.
 // The round trip is normalized to the identity. Returns the timing split.
+// The returned fields are workspace buffers reused by the next Cycle call
+// with the same field count.
 func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 	var tm Timings
 	d := k.D
 	nz := d.NZ
 	nkx := d.NKx
+	b := k.cycleBufsFor(len(fields))
 
 	t0 := time.Now()
-	zp := d.YtoZ(nil, fields)
+	zp := d.YtoZ(b.zp, fields)
 	tm.Transpose += time.Since(t0)
 
-	// Inverse z FFT on every contiguous line of length nz.
+	// Inverse z FFT on every contiguous line of length nz, out-of-place
+	// through the worker's line scratch (in-place would make the complex
+	// plan allocate a temporary per line).
 	kl, kh := d.KxRange()
 	yl, yh := d.YRange()
 	linesZ := (kh - kl) * (yh - yl)
 	t0 = time.Now()
-	for _, fd := range zp {
-		fd := fd
-		k.Pool.For(linesZ, func(l int) {
-			k.planZ.Inverse(fd[l*nz:(l+1)*nz], fd[l*nz:(l+1)*nz])
-		})
-	}
+	k.Pool.ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
+		zline := k.workers[blk].zline
+		for _, fd := range zp {
+			for l := lo; l < hi; l++ {
+				line := fd[l*nz : (l+1)*nz]
+				k.planZ.Inverse(zline, line)
+				copy(line, zline)
+			}
+		}
+	})
 	tm.FFT += time.Since(t0)
 
 	t0 = time.Now()
-	xp := d.ZtoX(nil, zp, nz)
+	xp := d.ZtoX(b.xp, zp, nz)
 	tm.Transpose += time.Since(t0)
 
 	// Inverse then forward x transform per line (physical excursion).
 	zl, zh := d.ZRangeX(nz)
 	linesX := (yh - yl) * (zh - zl)
 	t0 = time.Now()
-	for _, fd := range xp {
-		fd := fd
-		k.Pool.ForBlocks(linesX, func(lo, hi int) {
-			phys := make([]float64, k.Nx)
-			spec := make([]complex128, k.Nx/2+1)
+	k.Pool.ForBlocksIndexed(linesX, func(blk, lo, hi int) {
+		w := &k.workers[blk]
+		phys, spec, xscr := w.phys, w.spec, w.xscr
+		for _, fd := range xp {
 			for l := lo; l < hi; l++ {
 				line := fd[l*nkx : (l+1)*nkx]
 				copy(spec, line)
 				for i := nkx; i < len(spec); i++ {
 					spec[i] = 0 // Nyquist (if dropped) enters as zero
 				}
-				k.planX.Inverse(phys, spec)
-				k.planX.Forward(spec, phys)
+				k.planX.InverseScratch(phys, spec, xscr)
+				k.planX.ForwardScratch(spec, phys, xscr)
 				s := complex(1/float64(k.Nx), 0)
 				for i := range line {
 					line[i] = spec[i] * s
 				}
 			}
-		})
-	}
+		}
+	})
 	tm.FFT += time.Since(t0)
 
 	t0 = time.Now()
-	zp2 := d.XtoZ(nil, xp, nz)
+	zp2 := d.XtoZ(b.zp2, xp, nz)
 	tm.Transpose += time.Since(t0)
 
 	// Forward z FFT, normalized.
 	t0 = time.Now()
-	for _, fd := range zp2 {
-		fd := fd
-		k.Pool.For(linesZ, func(l int) {
-			line := fd[l*nz : (l+1)*nz]
-			k.planZ.Forward(line, line)
-			fft.Scale(line, 1/float64(nz))
-		})
-	}
+	k.Pool.ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
+		zline := k.workers[blk].zline
+		for _, fd := range zp2 {
+			for l := lo; l < hi; l++ {
+				line := fd[l*nz : (l+1)*nz]
+				k.planZ.Forward(zline, line)
+				fft.Scale(zline, 1/float64(nz))
+				copy(line, zline)
+			}
+		}
+	})
 	tm.FFT += time.Since(t0)
 
 	t0 = time.Now()
-	out := d.ZtoY(nil, zp2)
+	out := d.ZtoY(b.out, zp2)
 	tm.Transpose += time.Since(t0)
 	return out, tm
 }

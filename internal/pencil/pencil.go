@@ -10,6 +10,14 @@
 // The on-node data reordering A(i,j,k) -> A(j,k,i) that the paper threads
 // with OpenMP shows up here as the pack/unpack loops around the exchange,
 // plus a standalone Reorder kernel used by the Table 4 benchmark.
+//
+// Every transpose runs through a TransposePlan: per-(direction, z-extent,
+// field-count) precomputed count/displacement tables plus persistent send
+// and receive buffers owned by the Decomp and sized exactly once (the
+// paper's 1x-buffer discipline, §4.3). Plans are built lazily on first use
+// and reused for the life of the Decomp, so the steady-state transpose
+// path performs no allocations. A Decomp's transposes must not be invoked
+// concurrently from multiple goroutines (ranks never do).
 package pencil
 
 import (
@@ -23,6 +31,47 @@ import (
 // out of n items, balanced to within one item.
 func Chunk(n, p, r int) (lo, hi int) {
 	return r * n / p, (r + 1) * n / p
+}
+
+// TransposeDir identifies one of the four global transpose directions.
+type TransposeDir int
+
+// Transpose directions.
+const (
+	DirYtoZ TransposeDir = iota // y-pencils -> z-pencils (CommB)
+	DirZtoY                     // z-pencils -> y-pencils (CommB)
+	DirZtoX                     // z-pencils -> x-pencils (CommA)
+	DirXtoZ                     // x-pencils -> z-pencils (CommA)
+	numDirs
+)
+
+// String names the direction the way the tables in the paper do.
+func (d TransposeDir) String() string {
+	switch d {
+	case DirYtoZ:
+		return "YtoZ"
+	case DirZtoY:
+		return "ZtoY"
+	case DirZtoX:
+		return "ZtoX"
+	case DirXtoZ:
+		return "XtoZ"
+	}
+	return fmt.Sprintf("TransposeDir(%d)", int(d))
+}
+
+// DirStats accumulates per-direction transpose accounting.
+type DirStats struct {
+	Calls int64
+	// BytesMoved counts bytes through the exchange (packed send buffer
+	// plus unpacked receive buffer, 16 bytes per complex element).
+	BytesMoved int64
+}
+
+// Stats reports bytes moved per transpose direction since the Decomp was
+// built; cmd/bench-comm prints it next to the Table 5 timings.
+type Stats struct {
+	YtoZ, ZtoY, ZtoX, XtoZ DirStats
 }
 
 // Decomp carries the grid extents, the process grid and its two
@@ -52,14 +101,9 @@ type Decomp struct {
 	// communication-overlap ablation of DESIGN.md §7. Results are
 	// identical either way.
 	Overlap bool
-}
 
-// exchange runs one alltoallv on the chosen schedule.
-func (d *Decomp) exchange(c *mpi.Comm, data []complex128, sc, sd, rc, rd []int) []complex128 {
-	if d.Overlap {
-		return mpi.AlltoallvOverlap(c, data, sc, sd, rc, rd)
-	}
-	return mpi.Alltoallv(c, data, sc, sd, rc, rd)
+	plans map[planKey]*TransposePlan
+	stats [numDirs]DirStats
 }
 
 // New builds the decomposition on the world communicator, imposing a
@@ -79,7 +123,8 @@ func New(world *mpi.Comm, pa, pb, nkx, nz, ny int, pool *par.Pool) *Decomp {
 		PA: pa, PB: pb,
 		Cart: cart, A: a, B: b,
 		ca: co[0], cb: co[1],
-		Pool: pool,
+		Pool:  pool,
+		plans: map[planKey]*TransposePlan{},
 	}
 }
 
@@ -126,282 +171,47 @@ func (d *Decomp) XPencilLen(zLen int) int {
 	return (yh - yl) * (zh - zl) * d.NKx
 }
 
+// Stats returns the per-direction transpose accounting accumulated so far.
+func (d *Decomp) Stats() Stats {
+	return Stats{
+		YtoZ: d.stats[DirYtoZ],
+		ZtoY: d.stats[DirZtoY],
+		ZtoX: d.stats[DirZtoX],
+		XtoZ: d.stats[DirXtoZ],
+	}
+}
+
 // YtoZ transposes fields from y-pencils to spectral z-pencils (z extent NZ)
 // inside CommB. Paper step (a). dst and src are per-field slices; dst may
-// be nil, in which case new slices are allocated.
+// be nil, in which case new slices are allocated (steady-state callers pass
+// reused destinations to keep the path allocation-free).
 func (d *Decomp) YtoZ(dst, src [][]complex128) [][]complex128 {
-	nf := len(src)
-	kl, kh := d.KxRange()
-	nkx := kh - kl
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	zl, zh := d.KzRangeY()
-	nkz := zh - zl
-	pb := d.PB
-
-	blk := nf * nkx // fields x local kx, common factor of all message sizes
-	sendCounts := make([]int, pb)
-	sendDispls := make([]int, pb)
-	recvCounts := make([]int, pb)
-	recvDispls := make([]int, pb)
-	soff, roff := 0, 0
-	for b := 0; b < pb; b++ {
-		pyl, pyh := Chunk(d.NY, pb, b) // peer b's y chunk (what I send)
-		pzl, pzh := Chunk(d.NZ, pb, b) // peer b's kz chunk (what I receive)
-		sendCounts[b] = blk * nkz * (pyh - pyl)
-		sendDispls[b] = soff
-		soff += sendCounts[b]
-		recvCounts[b] = blk * (pzh - pzl) * nyLoc
-		recvDispls[b] = roff
-		roff += recvCounts[b]
-	}
-	sbuf := make([]complex128, soff)
-	// Pack: per peer b, layout [f][kx][kz][y in b's chunk].
-	d.Pool.For(pb, func(b int) {
-		pyl, pyh := Chunk(d.NY, pb, b)
-		pos := sendDispls[b]
-		for f := 0; f < nf; f++ {
-			fd := src[f]
-			for kx := 0; kx < nkx; kx++ {
-				for kz := 0; kz < nkz; kz++ {
-					base := (kx*nkz + kz) * d.NY
-					for y := pyl; y < pyh; y++ {
-						sbuf[pos] = fd[base+y]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	rbuf := d.exchange(d.B.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
-	if dst == nil {
-		dst = allocFields(nf, nkx*nyLoc*d.NZ)
-	}
-	// Unpack: from peer b, layout [f][kx][kz in b's chunk][y mine].
-	d.Pool.For(pb, func(b int) {
-		pzl, pzh := Chunk(d.NZ, pb, b)
-		pos := recvDispls[b]
-		for f := 0; f < nf; f++ {
-			fd := dst[f]
-			for kx := 0; kx < nkx; kx++ {
-				for kz := pzl; kz < pzh; kz++ {
-					for y := 0; y < nyLoc; y++ {
-						fd[(kx*nyLoc+y)*d.NZ+kz] = rbuf[pos]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	return dst
+	return d.Plan(DirYtoZ, d.NZ, len(src)).Run(dst, src)
 }
 
 // ZtoY transposes fields from spectral z-pencils back to y-pencils inside
 // CommB; the inverse of YtoZ (paper step (h) tail).
 func (d *Decomp) ZtoY(dst, src [][]complex128) [][]complex128 {
-	nf := len(src)
-	kl, kh := d.KxRange()
-	nkx := kh - kl
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	zl, zh := d.KzRangeY()
-	nkz := zh - zl
-	pb := d.PB
-
-	blk := nf * nkx
-	sendCounts := make([]int, pb)
-	sendDispls := make([]int, pb)
-	recvCounts := make([]int, pb)
-	recvDispls := make([]int, pb)
-	soff, roff := 0, 0
-	for b := 0; b < pb; b++ {
-		pzl, pzh := Chunk(d.NZ, pb, b)
-		pyl, pyh := Chunk(d.NY, pb, b)
-		sendCounts[b] = blk * (pzh - pzl) * nyLoc
-		sendDispls[b] = soff
-		soff += sendCounts[b]
-		recvCounts[b] = blk * nkz * (pyh - pyl)
-		recvDispls[b] = roff
-		roff += recvCounts[b]
-	}
-	sbuf := make([]complex128, soff)
-	// Pack: to peer b, layout [f][kx][kz in b's chunk][y mine] — the exact
-	// inverse of YtoZ's unpack.
-	d.Pool.For(pb, func(b int) {
-		pzl, pzh := Chunk(d.NZ, pb, b)
-		pos := sendDispls[b]
-		for f := 0; f < nf; f++ {
-			fd := src[f]
-			for kx := 0; kx < nkx; kx++ {
-				for kz := pzl; kz < pzh; kz++ {
-					for y := 0; y < nyLoc; y++ {
-						sbuf[pos] = fd[(kx*nyLoc+y)*d.NZ+kz]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	rbuf := d.exchange(d.B.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
-	if dst == nil {
-		dst = allocFields(nf, nkx*nkz*d.NY)
-	}
-	d.Pool.For(pb, func(b int) {
-		pyl, pyh := Chunk(d.NY, pb, b)
-		pos := recvDispls[b]
-		for f := 0; f < nf; f++ {
-			fd := dst[f]
-			for kx := 0; kx < nkx; kx++ {
-				for kz := 0; kz < nkz; kz++ {
-					base := (kx*nkz + kz) * d.NY
-					for y := pyl; y < pyh; y++ {
-						fd[base+y] = rbuf[pos]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	return dst
+	return d.Plan(DirZtoY, d.NZ, len(src)).Run(dst, src)
 }
 
 // ZtoX transposes fields from z-pencils (z extent zLen, typically the padded
 // physical 3*NZ/2) to x-pencils inside CommA. Paper step (d).
 func (d *Decomp) ZtoX(dst, src [][]complex128, zLen int) [][]complex128 {
-	nf := len(src)
-	kl, kh := d.KxRange()
-	nkxLoc := kh - kl
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	zl, zh := d.ZRangeX(zLen)
-	nzLoc := zh - zl
-	pa := d.PA
-
-	blk := nf * nyLoc
-	sendCounts := make([]int, pa)
-	sendDispls := make([]int, pa)
-	recvCounts := make([]int, pa)
-	recvDispls := make([]int, pa)
-	soff, roff := 0, 0
-	for a := 0; a < pa; a++ {
-		pzl, pzh := Chunk(zLen, pa, a)
-		pkl, pkh := Chunk(d.NKx, pa, a)
-		sendCounts[a] = blk * nkxLoc * (pzh - pzl)
-		sendDispls[a] = soff
-		soff += sendCounts[a]
-		recvCounts[a] = blk * (pkh - pkl) * nzLoc
-		recvDispls[a] = roff
-		roff += recvCounts[a]
-	}
-	sbuf := make([]complex128, soff)
-	// Pack: to peer a, layout [f][kx mine][y][z in a's chunk].
-	d.Pool.For(pa, func(a int) {
-		pzl, pzh := Chunk(zLen, pa, a)
-		pos := sendDispls[a]
-		for f := 0; f < nf; f++ {
-			fd := src[f]
-			for kx := 0; kx < nkxLoc; kx++ {
-				for y := 0; y < nyLoc; y++ {
-					base := (kx*nyLoc + y) * zLen
-					for z := pzl; z < pzh; z++ {
-						sbuf[pos] = fd[base+z]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	rbuf := d.exchange(d.A.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
-	if dst == nil {
-		dst = allocFields(nf, nyLoc*nzLoc*d.NKx)
-	}
-	// Unpack: from peer a, layout [f][kx in a's chunk][y][z mine].
-	d.Pool.For(pa, func(a int) {
-		pkl, pkh := Chunk(d.NKx, pa, a)
-		pos := recvDispls[a]
-		for f := 0; f < nf; f++ {
-			fd := dst[f]
-			for kx := pkl; kx < pkh; kx++ {
-				for y := 0; y < nyLoc; y++ {
-					for z := 0; z < nzLoc; z++ {
-						fd[(y*nzLoc+z)*d.NKx+kx] = rbuf[pos]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	return dst
+	return d.Plan(DirZtoX, zLen, len(src)).Run(dst, src)
 }
 
 // XtoZ transposes fields from x-pencils back to z-pencils (z extent zLen)
 // inside CommA; the inverse of ZtoX.
 func (d *Decomp) XtoZ(dst, src [][]complex128, zLen int) [][]complex128 {
-	nf := len(src)
-	kl, kh := d.KxRange()
-	nkxLoc := kh - kl
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	zl, zh := d.ZRangeX(zLen)
-	nzLoc := zh - zl
-	pa := d.PA
-
-	blk := nf * nyLoc
-	sendCounts := make([]int, pa)
-	sendDispls := make([]int, pa)
-	recvCounts := make([]int, pa)
-	recvDispls := make([]int, pa)
-	soff, roff := 0, 0
-	for a := 0; a < pa; a++ {
-		pkl, pkh := Chunk(d.NKx, pa, a)
-		pzl, pzh := Chunk(zLen, pa, a)
-		sendCounts[a] = blk * (pkh - pkl) * nzLoc
-		sendDispls[a] = soff
-		soff += sendCounts[a]
-		recvCounts[a] = blk * nkxLoc * (pzh - pzl)
-		recvDispls[a] = roff
-		roff += recvCounts[a]
-	}
-	sbuf := make([]complex128, soff)
-	d.Pool.For(pa, func(a int) {
-		pkl, pkh := Chunk(d.NKx, pa, a)
-		pos := sendDispls[a]
-		for f := 0; f < nf; f++ {
-			fd := src[f]
-			for kx := pkl; kx < pkh; kx++ {
-				for y := 0; y < nyLoc; y++ {
-					for z := 0; z < nzLoc; z++ {
-						sbuf[pos] = fd[(y*nzLoc+z)*d.NKx+kx]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	rbuf := d.exchange(d.A.Comm, sbuf, sendCounts, sendDispls, recvCounts, recvDispls)
-	if dst == nil {
-		dst = allocFields(nf, nkxLoc*nyLoc*zLen)
-	}
-	d.Pool.For(pa, func(a int) {
-		pzl, pzh := Chunk(zLen, pa, a)
-		pos := recvDispls[a]
-		for f := 0; f < nf; f++ {
-			fd := dst[f]
-			for kx := 0; kx < nkxLoc; kx++ {
-				for y := 0; y < nyLoc; y++ {
-					base := (kx*nyLoc + y) * zLen
-					for z := pzl; z < pzh; z++ {
-						fd[base+z] = rbuf[pos]
-						pos++
-					}
-				}
-			}
-		}
-	})
-	return dst
+	return d.Plan(DirXtoZ, zLen, len(src)).Run(dst, src)
 }
 
-func allocFields(nf, n int) [][]complex128 {
+// AllocFields allocates nf zeroed fields of n complex elements each, the
+// shape every transpose destination takes. Callers that want the
+// zero-allocation steady state allocate destinations once with this and
+// pass them to every transpose call.
+func AllocFields(nf, n int) [][]complex128 {
 	out := make([][]complex128, nf)
 	for i := range out {
 		out[i] = make([]complex128, n)

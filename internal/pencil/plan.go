@@ -1,0 +1,400 @@
+package pencil
+
+import (
+	"fmt"
+
+	"channeldns/internal/mpi"
+)
+
+// planKey identifies one reusable transpose plan: the direction, the
+// z extent carried through the CommA exchanges (spectral NZ or the padded
+// physical 3*NZ/2), and the number of fields moved per call.
+type planKey struct {
+	dir  TransposeDir
+	zLen int
+	nf   int
+}
+
+// TransposePlan is the preplanned form of one global transpose: the
+// alltoallv count/displacement tables, the persistent 1x send and receive
+// buffers, and the pack/unpack kernels bound once at construction so the
+// steady-state Run path allocates nothing. Plans are owned by a Decomp and
+// obtained with Decomp.Plan; the four transpose methods use them
+// internally.
+type TransposePlan struct {
+	d    *Decomp
+	dir  TransposeDir
+	comm *mpi.Comm
+	np   int // peer count (PB for CommB directions, PA for CommA)
+	nf   int
+
+	srcLen, dstLen int // per-field lengths
+
+	sendCounts, sendDispls []int
+	recvCounts, recvDispls []int
+	sbuf, rbuf             []complex128
+
+	// Per-call bindings read by the bound kernels; set by Run before the
+	// pack/unpack loops and cleared afterwards.
+	src, dst [][]complex128
+
+	pack, unpack func(lo, hi int)
+}
+
+// chunkLen returns the size of peer r's chunk of n items over p ranks.
+func chunkLen(n, p, r int) int {
+	lo, hi := Chunk(n, p, r)
+	return hi - lo
+}
+
+// buildTables computes count/displacement tables from per-peer block
+// sizes, the computation the four transposes share. It returns the tables
+// and the total send/receive lengths.
+func buildTables(np int, sendOf, recvOf func(peer int) int) (sc, sd, rc, rd []int, stot, rtot int) {
+	sc = make([]int, np)
+	sd = make([]int, np)
+	rc = make([]int, np)
+	rd = make([]int, np)
+	for p := 0; p < np; p++ {
+		sc[p] = sendOf(p)
+		sd[p] = stot
+		stot += sc[p]
+		rc[p] = recvOf(p)
+		rd[p] = rtot
+		rtot += rc[p]
+	}
+	return sc, sd, rc, rd, stot, rtot
+}
+
+// Plan returns the reusable transpose plan for (dir, zLen, nf), building
+// it on first use. zLen is the z extent for the CommA directions; the
+// CommB directions always carry the spectral extent NZ.
+func (d *Decomp) Plan(dir TransposeDir, zLen, nf int) *TransposePlan {
+	if dir == DirYtoZ || dir == DirZtoY {
+		zLen = d.NZ
+	}
+	key := planKey{dir: dir, zLen: zLen, nf: nf}
+	if p, ok := d.plans[key]; ok {
+		return p
+	}
+	p := d.buildPlan(dir, zLen, nf)
+	d.plans[key] = p
+	return p
+}
+
+func (d *Decomp) buildPlan(dir TransposeDir, zLen, nf int) *TransposePlan {
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zl, zh := d.KzRangeY()
+	nkz := zh - zl
+	zxl, zxh := d.ZRangeX(zLen)
+	nzLoc := zxh - zxl
+	ny := d.NY
+	nz := d.NZ
+	nkx := d.NKx
+
+	p := &TransposePlan{d: d, dir: dir, nf: nf}
+	switch dir {
+	case DirYtoZ, DirZtoY:
+		p.comm = d.B.Comm
+		p.np = d.PB
+	case DirZtoX, DirXtoZ:
+		p.comm = d.A.Comm
+		p.np = d.PA
+	default:
+		panic(fmt.Sprintf("pencil: unknown transpose direction %d", int(dir)))
+	}
+
+	var stot, rtot int
+	switch dir {
+	case DirYtoZ:
+		// Send peer b my kz block restricted to b's y chunk; receive b's kz
+		// chunk restricted to my y block.
+		blk := nf * nkxLoc
+		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
+			func(b int) int { return blk * nkz * chunkLen(ny, d.PB, b) },
+			func(b int) int { return blk * chunkLen(nz, d.PB, b) * nyLoc })
+		p.srcLen, p.dstLen = nkxLoc*nkz*ny, nkxLoc*nyLoc*nz
+		p.pack = p.packYtoZ
+		p.unpack = p.unpackYtoZ
+	case DirZtoY:
+		blk := nf * nkxLoc
+		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
+			func(b int) int { return blk * chunkLen(nz, d.PB, b) * nyLoc },
+			func(b int) int { return blk * nkz * chunkLen(ny, d.PB, b) })
+		p.srcLen, p.dstLen = nkxLoc*nyLoc*nz, nkxLoc*nkz*ny
+		p.pack = p.packZtoY
+		p.unpack = p.unpackZtoY
+	case DirZtoX:
+		blk := nf * nyLoc
+		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
+			func(a int) int { return blk * nkxLoc * chunkLen(zLen, d.PA, a) },
+			func(a int) int { return blk * chunkLen(nkx, d.PA, a) * nzLoc })
+		p.srcLen, p.dstLen = nkxLoc*nyLoc*zLen, nyLoc*nzLoc*nkx
+		p.pack = p.packZtoX(zLen)
+		p.unpack = p.unpackZtoX(zLen)
+	case DirXtoZ:
+		blk := nf * nyLoc
+		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
+			func(a int) int { return blk * chunkLen(nkx, d.PA, a) * nzLoc },
+			func(a int) int { return blk * nkxLoc * chunkLen(zLen, d.PA, a) })
+		p.srcLen, p.dstLen = nyLoc*nzLoc*nkx, nkxLoc*nyLoc*zLen
+		p.pack = p.packXtoZ(zLen)
+		p.unpack = p.unpackXtoZ(zLen)
+	}
+	// Persistent 1x buffers: exactly one send and one receive image of the
+	// local data, reused for the life of the plan (paper §4.3).
+	p.sbuf = make([]complex128, stot)
+	p.rbuf = make([]complex128, rtot)
+	return p
+}
+
+// Run executes the planned transpose: pack into the persistent send
+// buffer, exchange into the persistent receive buffer on the configured
+// schedule, unpack into dst. A nil dst allocates fresh per-field slices;
+// passing a reused dst makes the call allocation-free at steady state
+// (aside from the per-message payload copies inside the in-process MPI).
+func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
+	if len(src) != p.nf {
+		panic(fmt.Sprintf("pencil: plan for %d fields got %d", p.nf, len(src)))
+	}
+	for f := range src {
+		if len(src[f]) < p.srcLen {
+			panic(fmt.Sprintf("pencil: %v src field %d length %d < %d", p.dir, f, len(src[f]), p.srcLen))
+		}
+	}
+	if dst == nil {
+		dst = AllocFields(p.nf, p.dstLen)
+	} else {
+		if len(dst) != p.nf {
+			panic(fmt.Sprintf("pencil: plan for %d fields got %d dst", p.nf, len(dst)))
+		}
+		for f := range dst {
+			if len(dst[f]) < p.dstLen {
+				panic(fmt.Sprintf("pencil: %v dst field %d length %d < %d", p.dir, f, len(dst[f]), p.dstLen))
+			}
+		}
+	}
+	d := p.d
+	p.src, p.dst = src, dst
+	d.Pool.ForBlocks(p.np, p.pack)
+	if d.Overlap {
+		mpi.AlltoallvOverlapInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
+	} else {
+		mpi.AlltoallvInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
+	}
+	d.Pool.ForBlocks(p.np, p.unpack)
+	p.src, p.dst = nil, nil
+	st := &d.stats[p.dir]
+	st.Calls++
+	st.BytesMoved += int64(16 * (len(p.sbuf) + len(p.rbuf)))
+	return dst
+}
+
+// The eight pack/unpack kernels below are the seed's loops, bound once per
+// plan so the hot path creates no closures. Each runs over the peer range
+// [lo, hi) handed out by the pool.
+
+// packYtoZ: per peer b, layout [f][kx][kz][y in b's chunk].
+func (p *TransposePlan) packYtoZ(lo, hi int) {
+	d := p.d
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	zl, zh := d.KzRangeY()
+	nkz := zh - zl
+	for b := lo; b < hi; b++ {
+		pyl, pyh := Chunk(d.NY, d.PB, b)
+		pos := p.sendDispls[b]
+		for f := 0; f < p.nf; f++ {
+			fd := p.src[f]
+			for kx := 0; kx < nkxLoc; kx++ {
+				for kz := 0; kz < nkz; kz++ {
+					base := (kx*nkz + kz) * d.NY
+					for y := pyl; y < pyh; y++ {
+						p.sbuf[pos] = fd[base+y]
+						pos++
+					}
+				}
+			}
+		}
+	}
+}
+
+// unpackYtoZ: from peer b, layout [f][kx][kz in b's chunk][y mine].
+func (p *TransposePlan) unpackYtoZ(lo, hi int) {
+	d := p.d
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	for b := lo; b < hi; b++ {
+		pzl, pzh := Chunk(d.NZ, d.PB, b)
+		pos := p.recvDispls[b]
+		for f := 0; f < p.nf; f++ {
+			fd := p.dst[f]
+			for kx := 0; kx < nkxLoc; kx++ {
+				for kz := pzl; kz < pzh; kz++ {
+					for y := 0; y < nyLoc; y++ {
+						fd[(kx*nyLoc+y)*d.NZ+kz] = p.rbuf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	}
+}
+
+// packZtoY: to peer b, layout [f][kx][kz in b's chunk][y mine] — the exact
+// inverse of unpackYtoZ.
+func (p *TransposePlan) packZtoY(lo, hi int) {
+	d := p.d
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	for b := lo; b < hi; b++ {
+		pzl, pzh := Chunk(d.NZ, d.PB, b)
+		pos := p.sendDispls[b]
+		for f := 0; f < p.nf; f++ {
+			fd := p.src[f]
+			for kx := 0; kx < nkxLoc; kx++ {
+				for kz := pzl; kz < pzh; kz++ {
+					for y := 0; y < nyLoc; y++ {
+						p.sbuf[pos] = fd[(kx*nyLoc+y)*d.NZ+kz]
+						pos++
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *TransposePlan) unpackZtoY(lo, hi int) {
+	d := p.d
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	zl, zh := d.KzRangeY()
+	nkz := zh - zl
+	for b := lo; b < hi; b++ {
+		pyl, pyh := Chunk(d.NY, d.PB, b)
+		pos := p.recvDispls[b]
+		for f := 0; f < p.nf; f++ {
+			fd := p.dst[f]
+			for kx := 0; kx < nkxLoc; kx++ {
+				for kz := 0; kz < nkz; kz++ {
+					base := (kx*nkz + kz) * d.NY
+					for y := pyl; y < pyh; y++ {
+						fd[base+y] = p.rbuf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	}
+}
+
+// packZtoX: to peer a, layout [f][kx mine][y][z in a's chunk].
+func (p *TransposePlan) packZtoX(zLen int) func(lo, hi int) {
+	d := p.d
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	return func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			pzl, pzh := Chunk(zLen, d.PA, a)
+			pos := p.sendDispls[a]
+			for f := 0; f < p.nf; f++ {
+				fd := p.src[f]
+				for kx := 0; kx < nkxLoc; kx++ {
+					for y := 0; y < nyLoc; y++ {
+						base := (kx*nyLoc + y) * zLen
+						for z := pzl; z < pzh; z++ {
+							p.sbuf[pos] = fd[base+z]
+							pos++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// unpackZtoX: from peer a, layout [f][kx in a's chunk][y][z mine].
+func (p *TransposePlan) unpackZtoX(zLen int) func(lo, hi int) {
+	d := p.d
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zxl, zxh := d.ZRangeX(zLen)
+	nzLoc := zxh - zxl
+	return func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			pkl, pkh := Chunk(d.NKx, d.PA, a)
+			pos := p.recvDispls[a]
+			for f := 0; f < p.nf; f++ {
+				fd := p.dst[f]
+				for kx := pkl; kx < pkh; kx++ {
+					for y := 0; y < nyLoc; y++ {
+						for z := 0; z < nzLoc; z++ {
+							fd[(y*nzLoc+z)*d.NKx+kx] = p.rbuf[pos]
+							pos++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *TransposePlan) packXtoZ(zLen int) func(lo, hi int) {
+	d := p.d
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zxl, zxh := d.ZRangeX(zLen)
+	nzLoc := zxh - zxl
+	return func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			pkl, pkh := Chunk(d.NKx, d.PA, a)
+			pos := p.sendDispls[a]
+			for f := 0; f < p.nf; f++ {
+				fd := p.src[f]
+				for kx := pkl; kx < pkh; kx++ {
+					for y := 0; y < nyLoc; y++ {
+						for z := 0; z < nzLoc; z++ {
+							p.sbuf[pos] = fd[(y*nzLoc+z)*d.NKx+kx]
+							pos++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *TransposePlan) unpackXtoZ(zLen int) func(lo, hi int) {
+	d := p.d
+	kl, kh := d.KxRange()
+	nkxLoc := kh - kl
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	return func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			pzl, pzh := Chunk(zLen, d.PA, a)
+			pos := p.recvDispls[a]
+			for f := 0; f < p.nf; f++ {
+				fd := p.dst[f]
+				for kx := 0; kx < nkxLoc; kx++ {
+					for y := 0; y < nyLoc; y++ {
+						base := (kx*nyLoc + y) * zLen
+						for z := pzl; z < pzh; z++ {
+							fd[base+z] = p.rbuf[pos]
+							pos++
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package pencil
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+)
+
+// TestTransposePlanZeroAlloc: at P=1 every transpose direction degenerates
+// to a self-copy through the plan's persistent buffers, so a warmed plan
+// with a preallocated destination must perform zero heap allocations per
+// call. (At P>1 the in-process runtime copies each eager-send message, so
+// strict zero-alloc only holds single-rank; the plan tables and exchange
+// buffers are still reused either way.)
+func TestTransposePlanZeroAlloc(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		d := New(c, 1, 1, 6, 8, 10, nil)
+		const nf = 3
+		src := AllocFields(nf, d.YPencilLen())
+		for f := range src {
+			for i := range src[f] {
+				src[f][i] = complex(float64(f*1000+i), 1)
+			}
+		}
+		zp := AllocFields(nf, d.ZPencilLen(d.NZ))
+		xp := AllocFields(nf, d.XPencilLen(d.NZ))
+		zp2 := AllocFields(nf, d.ZPencilLen(d.NZ))
+		out := AllocFields(nf, d.YPencilLen())
+
+		steps := []struct {
+			name string
+			run  func()
+		}{
+			{"YtoZ", func() { d.YtoZ(zp, src) }},
+			{"ZtoX", func() { d.ZtoX(xp, zp, d.NZ) }},
+			{"XtoZ", func() { d.XtoZ(zp2, xp, d.NZ) }},
+			{"ZtoY", func() { d.ZtoY(out, zp2) }},
+		}
+		// Warm the plans (first call builds tables and buffers).
+		for _, st := range steps {
+			st.run()
+		}
+		for _, st := range steps {
+			if allocs := testing.AllocsPerRun(10, st.run); allocs != 0 {
+				t.Errorf("%s: %v allocs per reused transpose, want 0", st.name, allocs)
+			}
+		}
+	})
+}
+
+// TestTransposePlanReuseBitwise: reusing one plan (and one destination
+// buffer) across iterations must reproduce the identity round trip
+// bitwise, for both the CommB pair (YtoZ∘ZtoY) and the CommA pair
+// (ZtoX∘XtoZ), across several grid shapes and process splits, with fresh
+// random data each iteration.
+func TestTransposePlanReuseBitwise(t *testing.T) {
+	shapes := []struct{ pa, pb, nkx, nz, ny int }{
+		{1, 1, 4, 6, 8},
+		{1, 4, 5, 9, 11},
+		{4, 1, 5, 9, 11},
+		{2, 3, 7, 10, 13},
+		{3, 2, 6, 12, 7},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d_%dx%dx%d", sh.pa, sh.pb, sh.nkx, sh.nz, sh.ny),
+			func(t *testing.T) {
+				mpi.Run(sh.pa*sh.pb, func(c *mpi.Comm) {
+					d := New(c, sh.pa, sh.pb, sh.nkx, sh.nz, sh.ny, par.NewPool(2))
+					const nf = 2
+					rng := rand.New(rand.NewSource(int64(41*c.Rank() + 7)))
+					src := AllocFields(nf, d.YPencilLen())
+					zp := AllocFields(nf, d.ZPencilLen(d.NZ))
+					back := AllocFields(nf, d.YPencilLen())
+					xp := AllocFields(nf, d.XPencilLen(d.NZ))
+					zback := AllocFields(nf, d.ZPencilLen(d.NZ))
+					for it := 0; it < 3; it++ {
+						for f := 0; f < nf; f++ {
+							for i := range src[f] {
+								src[f][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+							}
+						}
+						d.YtoZ(zp, src)
+						d.ZtoY(back, zp)
+						for f := 0; f < nf; f++ {
+							for i := range src[f] {
+								if back[f][i] != src[f][i] {
+									t.Errorf("iter %d rank %d: YtoZ∘ZtoY not identity at f=%d i=%d",
+										it, c.Rank(), f, i)
+									return
+								}
+							}
+						}
+						d.ZtoX(xp, zp, d.NZ)
+						d.XtoZ(zback, xp, d.NZ)
+						for f := 0; f < nf; f++ {
+							for i := range zp[f] {
+								if zback[f][i] != zp[f][i] {
+									t.Errorf("iter %d rank %d: ZtoX∘XtoZ not identity at f=%d i=%d",
+										it, c.Rank(), f, i)
+									return
+								}
+							}
+						}
+					}
+				})
+			})
+	}
+}
+
+// TestDecompStats: the per-direction accounting must count calls and move
+// a positive, direction-consistent number of bytes.
+func TestDecompStats(t *testing.T) {
+	mpi.Run(4, func(c *mpi.Comm) {
+		d := New(c, 2, 2, 4, 6, 8, nil)
+		src := AllocFields(1, d.YPencilLen())
+		zp := d.YtoZ(nil, src)
+		xp := d.ZtoX(nil, zp, d.NZ)
+		d.XtoZ(nil, xp, d.NZ)
+		d.ZtoY(nil, zp)
+		st := d.Stats()
+		for _, ds := range []struct {
+			name string
+			s    DirStats
+		}{{"YtoZ", st.YtoZ}, {"ZtoY", st.ZtoY}, {"ZtoX", st.ZtoX}, {"XtoZ", st.XtoZ}} {
+			if ds.s.Calls != 1 {
+				t.Errorf("%s: %d calls, want 1", ds.name, ds.s.Calls)
+			}
+			if ds.s.BytesMoved <= 0 {
+				t.Errorf("%s: %d bytes moved, want > 0", ds.name, ds.s.BytesMoved)
+			}
+		}
+		if st.YtoZ.BytesMoved != st.ZtoY.BytesMoved {
+			t.Errorf("CommB pair asymmetric: %d vs %d", st.YtoZ.BytesMoved, st.ZtoY.BytesMoved)
+		}
+		if st.ZtoX.BytesMoved != st.XtoZ.BytesMoved {
+			t.Errorf("CommA pair asymmetric: %d vs %d", st.ZtoX.BytesMoved, st.XtoZ.BytesMoved)
+		}
+	})
+}
