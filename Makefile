@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-alloc
+.PHONY: ci vet build test race bench bench-alloc bench-smoke
 
-ci: vet build test race
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil
+	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry
 
 # Paper-table benchmarks with allocation reporting; see README
 # "Performance notes" for how to read the allocs/op columns.
@@ -28,3 +28,15 @@ bench:
 
 bench-alloc:
 	$(GO) test -run xxx -bench 'Table5|Table6|Table9' -benchmem -benchtime 200ms .
+
+# Tiny end-to-end run of every bench tool, validating the emitted
+# BENCH_*.json artifacts against the channeldns/bench/v1 schema. Keeps the
+# telemetry report path from bit-rotting without burning CI minutes.
+bench-smoke:
+	rm -rf .bench-smoke && mkdir -p .bench-smoke
+	$(GO) run ./cmd/bench-solver -n 128 -reps 1 -json .bench-smoke/BENCH_table1.json > /dev/null
+	$(GO) run ./cmd/bench-node -json .bench-smoke/BENCH_table2_3_4.json > /dev/null
+	$(GO) run ./cmd/bench-comm -json .bench-smoke/BENCH_table5.json > /dev/null
+	$(GO) run ./cmd/bench-fft -json .bench-smoke/BENCH_table6.json > /dev/null
+	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9.json > /dev/null
+	$(GO) run ./cmd/bench-validate .bench-smoke/*.json

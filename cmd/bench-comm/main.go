@@ -5,7 +5,9 @@
 // The Table 5 scales (8192 Mira cores, 384 Lonestar cores) come from the
 // machine model; -live additionally measures real in-process transpose
 // cycles over the message-passing runtime at laptop scale, sweeping the
-// same split dimension.
+// same split dimension. The live sweep records through the telemetry
+// subsystem — the same phase timers and per-direction comm counters the DNS
+// timestep feeds — and -json writes the aggregated telemetry.Report.
 package main
 
 import (
@@ -19,11 +21,13 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/pencil"
 	"channeldns/internal/perf"
+	"channeldns/internal/telemetry"
 )
 
 func main() {
 	pattern := flag.Bool("pattern", false, "print the Figure 4 communicator pattern (128 ranks)")
 	live := flag.Bool("live", false, "also run live in-process transpose cycles")
+	jsonPath := flag.String("json", "", "write a telemetry report of the live sweep to this file (implies -live)")
 	flag.Parse()
 
 	if *pattern {
@@ -40,20 +44,42 @@ func main() {
 	}
 	tbl.Write(os.Stdout)
 
-	if *live {
+	if *live || *jsonPath != "" {
 		fmt.Println("\nLive in-process transpose cycle (16 ranks, 64x32x32 modes, 3 fields):")
 		lt := perf.Table{Headers: []string{"CommA", "CommB", "elapsed",
 			"MB moved/dir", "steady allocs"}}
+		metrics := map[string]float64{}
+		var balanced *liveResult
 		for _, split := range [][2]int{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}} {
 			r := liveCycle(split[0], split[1])
 			lt.AddRowf(split[0], split[1], r.elapsed.String(),
 				fmt.Sprintf("%.2f", float64(r.bytesPerDir)/(1<<20)), r.allocs)
+			metrics[fmt.Sprintf("cycle_seconds_%dx%d", split[0], split[1])] = r.elapsed.Seconds()
+			if split[0] == 4 && split[1] == 4 {
+				balanced = r
+			}
 		}
 		lt.Write(os.Stdout)
 		fmt.Println("MB moved/dir: rank-0 bytes through each transpose direction " +
 			"(pack+unpack); steady allocs: heap objects allocated process-wide " +
 			"during the timed cycles (message copies only — plan tables and " +
 			"exchange buffers are reused).")
+
+		if *jsonPath != "" {
+			rep := telemetry.NewReport("table5", balanced.reg, map[string]string{
+				"nkx": "32", "nz": "32", "ny": "32",
+				"fields": "3", "iters": "4", "splits": "16x1,8x2,4x4,2x8,1x16",
+			})
+			// Phase/comm tables describe the balanced 4x4 split; the other
+			// splits' cycle times ride along as metrics.
+			rep.WallSeconds = balanced.elapsed.Seconds()
+			rep.Metrics = metrics
+			if err := rep.WriteFile(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 	}
 }
 
@@ -62,12 +88,14 @@ type liveResult struct {
 	elapsed     time.Duration
 	bytesPerDir int64  // rank-0 bytes moved per direction (all four agree)
 	allocs      uint64 // process-wide heap objects during the timed loop
+	reg         *telemetry.Registry
 }
 
-func liveCycle(pa, pb int) liveResult {
-	var res liveResult
+func liveCycle(pa, pb int) *liveResult {
+	res := &liveResult{reg: telemetry.NewRegistry()}
 	mpi.Run(pa*pb, func(c *mpi.Comm) {
 		d := pencil.New(c, pa, pb, 32, 32, 32, par.NewPool(1))
+		d.Telemetry = res.reg.Rank(c.Rank())
 		fields := make([][]complex128, 3)
 		for f := range fields {
 			fields[f] = make([]complex128, d.YPencilLen())
@@ -86,7 +114,8 @@ func liveCycle(pa, pb int) liveResult {
 			d.ZtoY(out, zp2)
 		}
 		cycle() // warm the plans
-		statsBase := d.Stats()
+		c.Barrier()
+		d.Telemetry.Reset() // drop warmup samples; each rank resets its own
 		c.Barrier()
 		before := perf.ReadAllocs()
 		t0 := time.Now()
@@ -97,8 +126,8 @@ func liveCycle(pa, pb int) liveResult {
 		if c.Rank() == 0 {
 			res.elapsed = time.Since(t0)
 			res.allocs = perf.ReadAllocs().Sub(before).Mallocs
-			st := d.Stats()
-			res.bytesPerDir = st.YtoZ.BytesMoved - statsBase.YtoZ.BytesMoved
+			_, _, bytes := d.Telemetry.CommCounts(telemetry.CommYtoZ)
+			res.bytesPerDir = bytes
 		}
 	})
 	return res

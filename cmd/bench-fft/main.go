@@ -16,10 +16,12 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/parfft"
 	"channeldns/internal/perf"
+	"channeldns/internal/telemetry"
 )
 
 func main() {
 	live := flag.Bool("live", false, "also run live in-process FFT cycles")
+	jsonPath := flag.String("json", "", "write a telemetry report of the live custom-kernel cycles to this file (implies -live)")
 	flag.Parse()
 
 	tbl := perf.Table{
@@ -40,24 +42,51 @@ func main() {
 	}
 	tbl.Write(os.Stdout)
 
-	if *live {
+	if *live || *jsonPath != "" {
 		fmt.Printf("\nLive in-process cycles (GOMAXPROCS=%d), 64x32x64 grid, 3 fields:\n", runtime.GOMAXPROCS(0))
 		lt := perf.Table{Headers: []string{"ranks", "custom", "baseline", "ratio"}}
+		metrics := map[string]float64{}
+		var lastReg *telemetry.Registry
+		var lastElapsed time.Duration
+		var lastRanks int
 		for _, p := range [][2]int{{1, 1}, {2, 2}, {4, 2}} {
-			c := liveCycle(p[0], p[1], true)
-			b := liveCycle(p[0], p[1], false)
+			c, reg := liveCycle(p[0], p[1], true)
+			b, _ := liveCycle(p[0], p[1], false)
 			lt.AddRowf(p[0]*p[1], c.String(), b.String(), b.Seconds()/c.Seconds())
+			ranks := p[0] * p[1]
+			metrics[fmt.Sprintf("custom_seconds_%dranks", ranks)] = c.Seconds()
+			metrics[fmt.Sprintf("baseline_seconds_%dranks", ranks)] = b.Seconds()
+			lastReg, lastElapsed, lastRanks = reg, c, ranks
 		}
 		lt.Write(os.Stdout)
+
+		if *jsonPath != "" {
+			rep := telemetry.NewReport("table6", lastReg, map[string]string{
+				"nx": "64", "ny": "32", "nz": "64", "fields": "3", "iters": "3",
+				"kernel": "custom", "ranks": fmt.Sprint(lastRanks),
+			})
+			rep.WallSeconds = lastElapsed.Seconds()
+			rep.Metrics = metrics
+			if err := rep.WriteFile(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 	}
 }
 
-func liveCycle(pa, pb int, custom bool) time.Duration {
+// liveCycle times iters cycles of one kernel; the custom kernel records
+// through a telemetry registry (FFT stages plus transpose phases) that is
+// returned for report assembly.
+func liveCycle(pa, pb int, custom bool) (time.Duration, *telemetry.Registry) {
 	var elapsed time.Duration
+	reg := telemetry.NewRegistry()
 	mpi.Run(pa*pb, func(c *mpi.Comm) {
 		var k *parfft.Kernel
 		if custom {
 			k = parfft.NewCustom(c, pa, pb, 64, 32, 64, par.NewPool(2))
+			k.SetTelemetry(reg.Rank(c.Rank()))
 		} else {
 			k = parfft.NewBaseline(c, pa, pb, 64, 32, 64)
 		}
@@ -75,5 +104,5 @@ func liveCycle(pa, pb int, custom bool) time.Duration {
 			elapsed = time.Since(t0)
 		}
 	})
-	return elapsed
+	return elapsed, reg
 }

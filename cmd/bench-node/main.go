@@ -18,19 +18,36 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/pencil"
 	"channeldns/internal/perf"
+	"channeldns/internal/telemetry"
 )
 
 func main() {
 	table := flag.Int("table", 0, "table to print (2, 3 or 4; 0 = all)")
+	jsonPath := flag.String("json", "", "write a telemetry report of the measured speedups to this file (implies all tables)")
 	flag.Parse()
-	if *table == 0 || *table == 2 {
-		table2()
+	metrics := map[string]float64{}
+	if *table == 0 || *table == 2 || *jsonPath != "" {
+		table2(metrics)
 	}
-	if *table == 0 || *table == 3 {
-		table3()
+	if *table == 0 || *table == 3 || *jsonPath != "" {
+		table3(metrics)
 	}
-	if *table == 0 || *table == 4 {
-		table4()
+	if *table == 0 || *table == 4 || *jsonPath != "" {
+		table4(metrics)
+	}
+	if *jsonPath != "" {
+		// Single-node kernels are timed whole (no phase spans), so the
+		// report carries the measured speedups and rates as metrics.
+		rep := telemetry.NewReport("table2_3_4", telemetry.NewRegistry(), map[string]string{
+			"ns_kernel": "nw=1024 ny=256 h=7", "fft_kernel": "512 lines of n=1024",
+			"reorder": "64x96x64 x8 reps",
+		})
+		rep.Metrics = metrics
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 
@@ -83,7 +100,7 @@ func fftKernel(pool *par.Pool, lines, n int) time.Duration {
 	return time.Since(t0)
 }
 
-func table2() {
+func table2(metrics map[string]float64) {
 	fmt.Println("Table 2: single-core N-S time advance characterization")
 	fmt.Println("\n-- measured on this machine (software counters) --")
 	pool := par.NewPool(1)
@@ -91,6 +108,7 @@ func table2() {
 	var c perf.Counters
 	c.AddFlops(flops)
 	fmt.Printf("GFlops: %.2f   elapsed: %v\n", c.GFlops(el), el)
+	metrics["ns_gflops_1core"] = c.GFlops(el)
 
 	fmt.Println("\n-- Mira model vs paper --")
 	tbl := perf.Table{Headers: []string{"", "GFlops", "frac peak", "DDR B/cycle", "elapsed ratio"}}
@@ -114,7 +132,7 @@ func table2() {
 	fmt.Println()
 }
 
-func table3() {
+func table3(metrics map[string]float64) {
 	fmt.Println("Table 3: single-node threading speedup (FFT / N-S advance)")
 	fmt.Println("\n-- measured on this machine --")
 	tbl := perf.Table{Headers: []string{"workers", "FFT speedup", "N-S speedup"}}
@@ -124,6 +142,8 @@ func table3() {
 		f := fftKernel(par.NewPool(w), 512, 1024)
 		n, _ := nsKernel(par.NewPool(w), 1024, 256, 7)
 		tbl.AddRowf(w, baseF.Seconds()/f.Seconds(), baseN.Seconds()/n.Seconds())
+		metrics[fmt.Sprintf("fft_speedup_%dworkers", w)] = baseF.Seconds() / f.Seconds()
+		metrics[fmt.Sprintf("ns_speedup_%dworkers", w)] = baseN.Seconds() / n.Seconds()
 	}
 	tbl.Write(os.Stdout)
 
@@ -139,7 +159,7 @@ func table3() {
 	fmt.Println()
 }
 
-func table4() {
+func table4(metrics map[string]float64) {
 	fmt.Println("Table 4: on-node data reordering")
 	fmt.Println("\n-- measured on this machine --")
 	ni, nj, nk := 64, 96, 64
@@ -159,7 +179,9 @@ func table4() {
 	base := run(1)
 	tbl := perf.Table{Headers: []string{"workers", "speedup"}}
 	for _, w := range []int{2, 4, 8} {
-		tbl.AddRowf(w, base.Seconds()/run(w).Seconds())
+		s := base.Seconds() / run(w).Seconds()
+		tbl.AddRowf(w, s)
+		metrics[fmt.Sprintf("reorder_speedup_%dworkers", w)] = s
 	}
 	tbl.Write(os.Stdout)
 

@@ -17,6 +17,7 @@ import (
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
 	"channeldns/internal/perf"
+	"channeldns/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +26,13 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "print Table 11 (MPI vs hybrid)")
 	configs := flag.Bool("configs", false, "print Tables 7/8 (benchmark grids)")
 	live := flag.Bool("live", false, "run live in-process timesteps")
+	jsonPath := flag.String("json", "", "run serial instrumented RK3 steps and write the telemetry report here")
+	nx := flag.Int("nx", 32, "grid Nx for the -json run")
+	ny := flag.Int("ny", 33, "grid Ny for the -json run")
+	nz := flag.Int("nz", 32, "grid Nz for the -json run")
+	steps := flag.Int("steps", 3, "timed steps for the -json run")
 	flag.Parse()
-	all := !*strong && !*weak && !*hybrid && !*configs && !*live
+	all := !*strong && !*weak && !*hybrid && !*configs && !*live && *jsonPath == ""
 
 	if *configs || all {
 		printConfigs()
@@ -43,6 +49,55 @@ func main() {
 	if *live {
 		runLive()
 	}
+	if *jsonPath != "" {
+		if err := runReport(*jsonPath, *nx, *ny, *nz, *steps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runReport runs the serial instrumented RK3 benchmark — the live analog of
+// the paper's Table 9 single-configuration row — and writes the telemetry
+// report. The phase breakdown comes from the leaf regions inside the step,
+// so phase_seconds_sum tracks wall_seconds to within the repo's 10%
+// acceptance bound; allocs_per_step restates the process-wide steady-state
+// allocation count the core alloc budget bounds.
+func runReport(path string, nx, ny, nz, steps int) error {
+	reg := telemetry.NewRegistry()
+	cfg := core.Config{Nx: nx, Ny: ny, Nz: nz, ReTau: 180, Dt: 1e-3, Forcing: 1,
+		Telemetry: reg}
+	var allocsPerStep float64
+	var runErr error
+	mpi.Run(1, func(c *mpi.Comm) {
+		s, err := core.New(c, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		s.SetLaminar()
+		s.Perturb(0.3, 2, 2, 1)
+		s.Advance(2) // warm the operator cache and workspace arena
+		reg.Reset()  // drop warmup samples
+		before := perf.ReadAllocs()
+		s.Advance(steps)
+		allocsPerStep = float64(perf.ReadAllocs().Sub(before).Mallocs) / float64(steps)
+	})
+	if runErr != nil {
+		return runErr
+	}
+	rep := telemetry.NewReport("table9", reg, map[string]string{
+		"nx": fmt.Sprint(nx), "ny": fmt.Sprint(ny), "nz": fmt.Sprint(nz),
+		"re_tau": "180", "dt": "1e-3", "steps": fmt.Sprint(steps),
+		"pa": "1", "pb": "1", "threads": "1", "form": "divergence",
+	})
+	rep.AllocsPerStep = allocsPerStep
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d steps, %.4fs/step, phase sum %.4fs)\n",
+		path, steps, rep.WallSeconds/float64(steps), rep.PhaseSecondsSum/float64(steps))
+	return nil
 }
 
 func printConfigs() {

@@ -1,0 +1,48 @@
+// Command bench-validate checks BENCH_*.json telemetry reports against the
+// channeldns/bench/v1 schema: strict field parsing, phase-name and ordering
+// invariants, and sane comm/metric accounting. The bench-smoke CI target
+// runs it over every artifact the cmd/bench-* tools emit; run it by hand
+// over committed BENCH_*.json files after regenerating them.
+//
+// Exit status is non-zero if any file fails, so it composes with make.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"channeldns/internal/telemetry"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print only failures")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bench-validate [-q] report.json ...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		r, err := telemetry.ValidateJSON(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: ok (table=%s ranks=%d phases=%d comm=%d metrics=%d)\n",
+				path, r.Table, r.Ranks, len(r.Phases), len(r.Comm), len(r.Metrics))
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d reports invalid\n", failed, flag.NArg())
+		os.Exit(1)
+	}
+}

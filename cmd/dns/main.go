@@ -17,6 +17,7 @@ import (
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
 	"channeldns/internal/stats"
+	"channeldns/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func main() {
 		form    = flag.String("form", "divergence", "nonlinear form: divergence | convective | skew")
 		budget  = flag.Bool("budget", false, "print the TKE budget at the end")
 		spectra = flag.Bool("spectra", false, "print 1-D energy spectra at selected heights")
+		listen  = flag.String("listen", "", "serve live telemetry + pprof + expvar on this address (e.g. localhost:6060)")
+		repPath = flag.String("report", "", "write the final telemetry report (BENCH-schema JSON) to this file")
 	)
 	flag.Parse()
 
@@ -46,6 +49,26 @@ func main() {
 		Nx: *nx, Ny: *ny, Nz: *nz,
 		ReTau: *retau, Dt: *dt, Forcing: 1,
 		PA: *pa, PB: *pb, Pool: par.NewPool(*threads),
+	}
+	var reg *telemetry.Registry
+	if *listen != "" || *repPath != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
+	buildReport := func() *telemetry.Report {
+		return telemetry.NewReport("dns", reg, map[string]string{
+			"nx": fmt.Sprint(*nx), "ny": fmt.Sprint(*ny), "nz": fmt.Sprint(*nz),
+			"re_tau": fmt.Sprint(*retau), "dt": fmt.Sprint(*dt),
+			"steps": fmt.Sprint(*steps), "pa": fmt.Sprint(*pa), "pb": fmt.Sprint(*pb),
+			"threads": fmt.Sprint(*threads), "form": *form,
+		})
+	}
+	if *listen != "" {
+		addr, err := telemetry.Serve(*listen, reg, buildReport)
+		if err != nil {
+			log.Fatalf("telemetry endpoint: %v", err)
+		}
+		fmt.Printf("telemetry endpoint: http://%s/telemetry (pprof under /debug/pprof/)\n", addr)
 	}
 	switch *form {
 	case "divergence":
@@ -177,5 +200,11 @@ func main() {
 	})
 	if finalErr != nil {
 		log.Fatal(finalErr)
+	}
+	if *repPath != "" {
+		if err := buildReport().WriteFile(*repPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *repPath)
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"channeldns/internal/telemetry"
+)
 
 // stepAllocBudget is the documented per-step allocation budget for a warm
 // serial (P=1, nil pool) solver: the step workspace arena, transpose
@@ -44,5 +48,30 @@ func TestStepOnceSteadyStateAllocsSkew(t *testing.T) {
 	if allocs > stepAllocBudget {
 		t.Errorf("steady-state skew StepOnce: %v allocs per step, budget %d",
 			allocs, stepAllocBudget)
+	}
+}
+
+// TestStepOnceSteadyStateAllocsTelemetry: the acceptance bar for the
+// telemetry subsystem — with a registry attached (phase spans, step
+// histogram, comm counters all live), the warm step must stay within the
+// same budget. Spans are value-typed and counters are preallocated
+// atomics, so instrumentation itself contributes zero heap objects.
+func TestStepOnceSteadyStateAllocsTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := Config{Nx: 16, Ny: 24, Nz: 16, ReTau: 180, Dt: 1e-3, Forcing: 1,
+		Telemetry: reg}
+	s := serialSolver(t, cfg)
+	s.SetLaminar()
+	s.Perturb(0.2, 2, 2, 13)
+	s.Advance(2)
+	allocs := testing.AllocsPerRun(5, func() { s.StepOnce() })
+	if allocs > stepAllocBudget {
+		t.Errorf("steady-state instrumented StepOnce: %v allocs per step, budget %d",
+			allocs, stepAllocBudget)
+	}
+	t.Logf("steady-state instrumented StepOnce: %v allocs per step (budget %d)",
+		allocs, stepAllocBudget)
+	if got := s.Telemetry().PhaseCalls(telemetry.PhaseNonlinear); got == 0 {
+		t.Error("telemetry attached but no nonlinear spans recorded")
 	}
 }

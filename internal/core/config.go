@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"channeldns/internal/par"
+	"channeldns/internal/telemetry"
 )
 
 // Config selects the resolution, physics and parallel layout of a Solver.
@@ -46,6 +47,13 @@ type Config struct {
 	// divergence form (default), the convective form, or their
 	// skew-symmetric average (see convective.go).
 	Nonlinear Form
+	// Telemetry, when non-nil, attaches each rank's collector from this
+	// registry to the solver, its pencil decomposition and its
+	// communicators, so every timestep feeds the phase timers, comm
+	// counters and FLOP accounting that telemetry.Report aggregates. Nil
+	// (the default) disables instrumentation; the hot path is
+	// allocation-free either way.
+	Telemetry *telemetry.Registry
 	// UseGeneralSolver replaces the customized compact banded solver in the
 	// time advance with the general pivoted banded solver (complex right-
 	// hand sides via two sequential real solves) — the configuration the

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sync"
+
+	"channeldns/internal/telemetry"
 )
 
 // Alternative nonlinear-term forms. The paper evaluates the convective
@@ -33,6 +35,7 @@ const (
 // collocation points for every locally owned mode, y-pencil layout. The
 // returned fields are the arena's velocity buffers.
 func (s *Solver) velocityAndGradValues() [][]complex128 {
+	sp := s.tel.Begin(telemetry.PhasePressure)
 	ny := s.Cfg.Ny
 	ws := s.ws
 	out := ws.velY[:6]
@@ -87,6 +90,7 @@ func (s *Solver) velocityAndGradValues() [][]complex128 {
 			}
 		}
 	})
+	sp.End()
 	return out
 }
 
@@ -111,6 +115,7 @@ func (s *Solver) convectiveH() [][]complex128 {
 	// Pad + inverse in z for all six, plus the three z derivatives of
 	// u, v, w built by multiplying the spectral lines by i*kz.
 	zphys := ws.zphys[:9]
+	sp := s.tel.Begin(telemetry.PhaseFFTInverse)
 	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
 		wk := &ws.workers[blk]
 		scratch := wk.zscr
@@ -130,6 +135,7 @@ func (s *Solver) convectiveH() [][]complex128 {
 			}
 		}
 	})
+	sp.End()
 
 	// Nine fields to x-pencils.
 	xp := d.ZtoX(ws.xp[:9], zphys, mz)
@@ -146,6 +152,7 @@ func (s *Solver) convectiveH() [][]complex128 {
 	zeroF(ws.locMaxV)
 	zeroF(ws.locMaxW)
 	var maxMu sync.Mutex
+	sp = s.tel.Begin(telemetry.PhaseNonlinear)
 	s.pool().ForBlocksIndexed(linesX, func(blk, lo, hi int) {
 		wk := &ws.workers[blk]
 		phys := &wk.phys // u v w uy vy wy uz vz wz ux vx wx
@@ -190,6 +197,7 @@ func (s *Solver) convectiveH() [][]complex128 {
 		}
 		maxMu.Unlock()
 	})
+	sp.End()
 	s.physMaxMu.Lock()
 	copy(s.physMaxU, ws.locMaxU)
 	copy(s.physMaxV, ws.locMaxV)
@@ -200,6 +208,7 @@ func (s *Solver) convectiveH() [][]complex128 {
 	// Reverse path for the three H fields.
 	zp2 := d.XtoZ(ws.zpProd[:3], hX, mz)
 	zspec := ws.zspec[:3]
+	sp = s.tel.Begin(telemetry.PhaseFFTForward)
 	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
 		scratch := ws.workers[blk].zscr
 		for f := 0; f < 3; f++ {
@@ -209,6 +218,7 @@ func (s *Solver) convectiveH() [][]complex128 {
 			}
 		}
 	})
+	sp.End()
 	return d.ZtoY(ws.prodsY[:3], zspec)
 }
 
@@ -223,6 +233,7 @@ func (s *Solver) convectiveTerms(hg, hv [][]complex128, meanHx, meanHz []float64
 	ny := s.Cfg.Ny
 	ws := s.ws
 	h := s.convectiveH()
+	sp := s.tel.Begin(telemetry.PhaseNonlinear)
 	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
 		wk := &ws.workers[blk]
 		p := wk.ln[0]
@@ -260,4 +271,5 @@ func (s *Solver) convectiveTerms(hg, hv [][]complex128, meanHx, meanHz []float64
 			meanHz[i] = real(h[2][base+i])
 		}
 	}
+	sp.End()
 }

@@ -21,6 +21,8 @@ package core
 import (
 	"math"
 	"sync"
+
+	"channeldns/internal/telemetry"
 )
 
 const (
@@ -52,6 +54,7 @@ func (s *Solver) products() [][]complex128 {
 	nyLoc := yh - yl
 	linesZ := kxloc * nyLoc
 	zphys := ws.zphys[:3]
+	sp := s.tel.Begin(telemetry.PhaseFFTInverse)
 	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
 		scratch := ws.workers[blk].zscr
 		for f := 0; f < 3; f++ {
@@ -61,6 +64,7 @@ func (s *Solver) products() [][]complex128 {
 			}
 		}
 	})
+	sp.End()
 
 	// (d) z-pencils -> x-pencils.
 	xp := d.ZtoX(ws.xp[:3], zphys, mz)
@@ -76,6 +80,7 @@ func (s *Solver) products() [][]complex128 {
 	zeroF(ws.locMaxV)
 	zeroF(ws.locMaxW)
 	var maxMu sync.Mutex
+	sp = s.tel.Begin(telemetry.PhaseNonlinear)
 	s.pool().ForBlocksIndexed(linesX, func(blk, lo, hi int) {
 		w := &ws.workers[blk]
 		pu, pv, pw := w.phys[0], w.phys[1], w.phys[2]
@@ -118,6 +123,7 @@ func (s *Solver) products() [][]complex128 {
 		}
 		maxMu.Unlock()
 	})
+	sp.End()
 	s.physMaxMu.Lock()
 	copy(s.physMaxU, ws.locMaxU)
 	copy(s.physMaxV, ws.locMaxV)
@@ -129,6 +135,7 @@ func (s *Solver) products() [][]complex128 {
 	// z-pencils -> y-pencils.
 	zp2 := d.XtoZ(ws.zpProd, prodX, mz)
 	zspec := ws.zspec
+	sp = s.tel.Begin(telemetry.PhaseFFTForward)
 	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
 		scratch := ws.workers[blk].zscr
 		for f := 0; f < nProducts; f++ {
@@ -138,6 +145,7 @@ func (s *Solver) products() [][]complex128 {
 			}
 		}
 	})
+	sp.End()
 	return d.ZtoY(ws.prodsY, zspec)
 }
 
@@ -196,6 +204,7 @@ func (s *Solver) divergenceTerms(hg, hv [][]complex128, meanHx, meanHz []float64
 	ws := s.ws
 	prods := s.products()
 
+	sp := s.tel.Begin(telemetry.PhaseNonlinear)
 	s.pool().ForBlocksIndexed(s.nw, func(blk, wlo, whi int) {
 		wk := &ws.workers[blk]
 		sv := wk.ln[0]  // S  = i*kx*uv + i*kz*vw
@@ -276,4 +285,5 @@ func (s *Solver) divergenceTerms(hg, hv [][]complex128, meanHx, meanHz []float64
 			meanHz[i] = -meanHz[i]
 		}
 	}
+	sp.End()
 }

@@ -7,8 +7,10 @@ import (
 	"channeldns/internal/bspline"
 	"channeldns/internal/fft"
 	"channeldns/internal/field"
+	"channeldns/internal/machine"
 	"channeldns/internal/mpi"
 	"channeldns/internal/pencil"
+	"channeldns/internal/telemetry"
 )
 
 // Solver holds the distributed state of a channel DNS: B-spline coefficients
@@ -64,6 +66,13 @@ type Solver struct {
 	physMaxW       []float64
 	physMaxCurrent bool
 
+	// tel is this rank's telemetry collector (nil when Config.Telemetry is
+	// unset — every recording call is then a no-op); stepFlops is this
+	// rank's share of the machine model's per-step operation count,
+	// credited once per StepOnce.
+	tel       *telemetry.Collector
+	stepFlops int64
+
 	Time float64
 	Step int
 }
@@ -97,7 +106,15 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 
+	if cfg.Telemetry != nil {
+		s.tel = cfg.Telemetry.Rank(world.Rank())
+		// Attach before the cartesian splits below so CommA/CommB inherit
+		// the collector for their collective instrumentation.
+		world.SetTelemetry(s.tel)
+		s.stepFlops = int64(machine.StepFlops(cfg.Nx, cfg.Ny, cfg.Nz) / float64(world.Size()))
+	}
 	s.D = pencil.New(world, cfg.PA, cfg.PB, g.NKx(), g.Nz, g.Ny, cfg.Pool)
+	s.D.Telemetry = s.tel
 	s.kxlo, s.kxhi = s.D.KxRange()
 	s.kzlo, s.kzhi = s.D.KzRangeY()
 	s.nw = (s.kxhi - s.kxlo) * (s.kzhi - s.kzlo)
@@ -148,6 +165,10 @@ func (s *Solver) modeOf(w int) (int, int) {
 
 // OwnsMean reports whether this rank holds the kx=kz=0 mean-flow state.
 func (s *Solver) OwnsMean() bool { return s.ownsMean }
+
+// Telemetry returns this rank's collector (nil when Config.Telemetry was
+// not set).
+func (s *Solver) Telemetry() *telemetry.Collector { return s.tel }
 
 // Basis returns the wall-normal B-spline basis.
 func (s *Solver) Basis() *bspline.Basis { return s.B }

@@ -1,5 +1,11 @@
 package core
 
+import (
+	"time"
+
+	"channeldns/internal/telemetry"
+)
+
 // Time advance, paper §2.1: three IMEX Runge-Kutta substeps per step.
 // Each substep solves, for every wavenumber, the pair of two-point boundary
 // value problems of Eq. (3) for omega_y-hat and phi-hat with the customized
@@ -9,6 +15,7 @@ package core
 
 // StepOnce advances the solution by one full time step (three substeps).
 func (s *Solver) StepOnce() {
+	t0 := time.Now()
 	dt := s.Cfg.Dt
 	s.ensureOps(dt)
 	for sub := 0; sub < 3; sub++ {
@@ -25,6 +32,8 @@ func (s *Solver) StepOnce() {
 	}
 	s.Time += dt
 	s.Step++
+	s.tel.StepDone(time.Since(t0))
+	s.tel.AddFlops(s.stepFlops)
 }
 
 // Advance runs n full time steps.
@@ -71,6 +80,7 @@ func (s *Solver) AdvanceAdaptive(n int, targetCFL float64, checkEvery int) float
 }
 
 func (s *Solver) advanceSubstep(sub int, dt float64, hg, hv [][]complex128, mHx, mHz []float64) {
+	sp := s.tel.Begin(telemetry.PhaseViscousSolve)
 	ny := s.Cfg.Ny
 	ga := rkGamma[sub]
 	ze := rkZeta[sub]
@@ -136,6 +146,7 @@ func (s *Solver) advanceSubstep(sub int, dt float64, hg, hv [][]complex128, mHx,
 	if s.ownsMean {
 		s.advanceMean(sub, dt, mHx, mHz)
 	}
+	sp.End()
 }
 
 // advanceMean advances the kx = kz = 0 profiles:

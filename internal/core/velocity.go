@@ -3,6 +3,7 @@ package core
 import (
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
+	"channeldns/internal/telemetry"
 )
 
 // Velocity recovery (paper §2.1): for each nonzero wavenumber the
@@ -20,6 +21,7 @@ import (
 // [kxLoc][kzLoc][Ny] expected by the pencil transposes. Returns {u, v, w},
 // backed by the arena's velocity buffers.
 func (s *Solver) velocityValues() [][]complex128 {
+	sp := s.tel.Begin(telemetry.PhasePressure)
 	ny := s.Cfg.Ny
 	ws := s.ws
 	out := ws.velY[:3]
@@ -61,6 +63,7 @@ func (s *Solver) velocityValues() [][]complex128 {
 			}
 		}
 	})
+	sp.End()
 	return out
 }
 

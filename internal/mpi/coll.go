@@ -1,26 +1,45 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+
+	"channeldns/internal/telemetry"
+)
+
+// sizeofT returns the in-memory size of one element of type T, for the
+// telemetry byte accounting.
+func sizeofT[T any]() int64 {
+	var v T
+	return int64(unsafe.Sizeof(v))
+}
 
 // Barrier blocks until every rank of the communicator has entered it.
 // It uses a dissemination pattern: log2(P) rounds of shifted exchanges.
 func (c *Comm) Barrier() {
+	sp := c.tel.Begin(telemetry.PhaseCollective)
 	p := c.size()
+	rounds := int64(0)
 	for k := 1; k < p; k *= 2 {
 		dst := (c.rank + k) % p
 		src := (c.rank - k + p) % p
 		c.send(dst, tagBarrier, []byte{1})
 		c.recv(src, tagBarrier)
+		rounds++
+	}
+	sp.End()
+	if rounds > 0 {
+		c.tel.AddComm(telemetry.CommCollective, rounds, rounds)
 	}
 }
 
-// Bcast distributes root's data to every rank over a binomial tree and
-// returns each rank's copy.
-func Bcast[T any](c *Comm, root int, data []T) []T {
+// bcast is the uninstrumented binomial-tree broadcast shared by Bcast and
+// Allreduce; it returns the received buffer and the number of tree sends
+// this rank performed (for the caller's comm accounting).
+func bcast[T any](c *Comm, root int, data []T) (buf []T, sends int64) {
 	p := c.size()
 	// Rotate so the root is virtual rank 0.
 	vr := (c.rank - root + p) % p
-	var buf []T
 	k := 1 // first round in which this rank may send
 	if vr == 0 {
 		buf = append([]T(nil), data...)
@@ -37,7 +56,18 @@ func Bcast[T any](c *Comm, root int, data []T) []T {
 	for ; vr+k < p; k *= 2 {
 		cp := append([]T(nil), buf...)
 		c.send((vr+k+root)%p, tagBcast, cp)
+		sends++
 	}
+	return buf, sends
+}
+
+// Bcast distributes root's data to every rank over a binomial tree and
+// returns each rank's copy.
+func Bcast[T any](c *Comm, root int, data []T) []T {
+	sp := c.tel.Begin(telemetry.PhaseCollective)
+	buf, sends := bcast(c, root, data)
+	sp.End()
+	c.tel.AddComm(telemetry.CommCollective, sends*int64(len(buf))*sizeofT[T](), sends)
 	return buf
 }
 
@@ -76,6 +106,8 @@ func reduceInto[T Number](op Op, acc, in []T) {
 // Allreduce combines data element-wise across all ranks and returns the
 // result on every rank (reduce-to-zero then broadcast).
 func Allreduce[T Number](c *Comm, op Op, data []T) []T {
+	sp := c.tel.Begin(telemetry.PhaseCollective)
+	sends := int64(0)
 	acc := append([]T(nil), data...)
 	if c.rank == 0 {
 		for i := 1; i < c.size(); i++ {
@@ -84,16 +116,24 @@ func Allreduce[T Number](c *Comm, op Op, data []T) []T {
 		}
 	} else {
 		c.send(0, tagReduce, acc)
+		sends++
 	}
-	return Bcast(c, 0, acc)
+	out, bsends := bcast(c, 0, acc)
+	sends += bsends
+	sp.End()
+	c.tel.AddComm(telemetry.CommCollective, sends*int64(len(acc))*sizeofT[T](), sends)
+	return out
 }
 
 // Gather collects equal-length contributions on the root, concatenated in
 // rank order. Non-root ranks receive nil.
 func Gather[T any](c *Comm, root int, data []T) []T {
+	sp := c.tel.Begin(telemetry.PhaseCollective)
 	if c.rank != root {
 		cp := append([]T(nil), data...)
 		c.send(root, tagGather, cp)
+		sp.End()
+		c.tel.AddComm(telemetry.CommCollective, int64(len(data))*sizeofT[T](), 1)
 		return nil
 	}
 	out := make([]T, len(data)*c.size())
@@ -105,6 +145,8 @@ func Gather[T any](c *Comm, root int, data []T) []T {
 		in := c.recv(i, tagGather).([]T)
 		copy(out[i*len(data):], in)
 	}
+	sp.End()
+	c.tel.AddComm(telemetry.CommCollective, 0, 0)
 	return out
 }
 

@@ -15,6 +15,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"channeldns/internal/telemetry"
 )
 
 // AnyTag matches any tag in Recv.
@@ -105,7 +107,20 @@ type Comm struct {
 	rank     int   // this process's rank within the communicator
 	group    []int // comm rank -> world rank
 	splitSeq int   // per-rank counter of collective split operations
+
+	// tel, when non-nil, receives PhaseCollective timing samples and
+	// CommCollective traffic counters from Barrier/Bcast/Allreduce/Gather.
+	// Derived communicators (Split, the cartesian constructors) inherit it.
+	// The alltoallv family is deliberately NOT instrumented here: the pencil
+	// transpose plans account that traffic per direction, and counting it
+	// twice would corrupt the comm tables.
+	tel *telemetry.Collector
 }
+
+// SetTelemetry attaches a per-rank telemetry collector to the communicator.
+// Communicators split from this one afterwards inherit the collector; a nil
+// collector (the default) makes the instrumentation a no-op.
+func (c *Comm) SetTelemetry(t *telemetry.Collector) { c.tel = t }
 
 // Run starts size ranks, invoking fn on each with its world communicator,
 // and returns when every rank has finished.
@@ -244,5 +259,5 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	// All members derive the same child id deterministically.
 	id := c.id*1_000_003 + int64(c.splitSeq)*1009 + int64(color) + 7
-	return &Comm{w: c.w, id: id, rank: newRank, group: group}
+	return &Comm{w: c.w, id: id, rank: newRank, group: group, tel: c.tel}
 }

@@ -26,6 +26,7 @@ import (
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
 	"channeldns/internal/pencil"
+	"channeldns/internal/telemetry"
 )
 
 // Kernel is a distributed parallel-FFT pipeline instance; construct with
@@ -45,6 +46,20 @@ type Kernel struct {
 	workers []kernelWorker
 	// Reusable intermediate pencil buffers, keyed by field count.
 	bufs map[int]*cycleBufs
+
+	// tel, when non-nil, receives per-stage FFT timing samples; the
+	// transposes report through the shared Decomp collector. Set with
+	// SetTelemetry.
+	tel *telemetry.Collector
+}
+
+// SetTelemetry attaches a per-rank telemetry collector to the kernel and
+// its decomposition, so Cycle feeds the same accounting spine as the DNS
+// timestep: FFT stages as PhaseFFTInverse/PhaseFFTForward regions,
+// transposes as PhaseTransposeAB regions with per-direction byte counters.
+func (k *Kernel) SetTelemetry(t *telemetry.Collector) {
+	k.tel = t
+	k.D.Telemetry = t
 }
 
 // kernelWorker holds one worker's transform scratch.
@@ -176,6 +191,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 	yl, yh := d.YRange()
 	linesZ := (kh - kl) * (yh - yl)
 	t0 = time.Now()
+	sp := k.tel.Begin(telemetry.PhaseFFTInverse)
 	k.Pool.ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
 		zline := k.workers[blk].zline
 		for _, fd := range zp {
@@ -186,6 +202,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 			}
 		}
 	})
+	sp.End()
 	tm.FFT += time.Since(t0)
 
 	t0 = time.Now()
@@ -196,6 +213,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 	zl, zh := d.ZRangeX(nz)
 	linesX := (yh - yl) * (zh - zl)
 	t0 = time.Now()
+	sp = k.tel.Begin(telemetry.PhaseFFTForward)
 	k.Pool.ForBlocksIndexed(linesX, func(blk, lo, hi int) {
 		w := &k.workers[blk]
 		phys, spec, xscr := w.phys, w.spec, w.xscr
@@ -215,6 +233,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 			}
 		}
 	})
+	sp.End()
 	tm.FFT += time.Since(t0)
 
 	t0 = time.Now()
@@ -223,6 +242,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 
 	// Forward z FFT, normalized.
 	t0 = time.Now()
+	sp = k.tel.Begin(telemetry.PhaseFFTForward)
 	k.Pool.ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
 		zline := k.workers[blk].zline
 		for _, fd := range zp2 {
@@ -234,6 +254,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 			}
 		}
 	})
+	sp.End()
 	tm.FFT += time.Since(t0)
 
 	t0 = time.Now()

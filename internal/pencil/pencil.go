@@ -25,6 +25,7 @@ import (
 
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
+	"channeldns/internal/telemetry"
 )
 
 // Chunk returns the half-open index range [lo, hi) that rank r of p owns
@@ -60,18 +61,20 @@ func (d TransposeDir) String() string {
 	return fmt.Sprintf("TransposeDir(%d)", int(d))
 }
 
-// DirStats accumulates per-direction transpose accounting.
-type DirStats struct {
-	Calls int64
-	// BytesMoved counts bytes through the exchange (packed send buffer
-	// plus unpacked receive buffer, 16 bytes per complex element).
-	BytesMoved int64
-}
-
-// Stats reports bytes moved per transpose direction since the Decomp was
-// built; cmd/bench-comm prints it next to the Table 5 timings.
-type Stats struct {
-	YtoZ, ZtoY, ZtoX, XtoZ DirStats
+// commOp maps a transpose direction to its telemetry communication
+// counter.
+func commOp(d TransposeDir) telemetry.CommOp {
+	switch d {
+	case DirYtoZ:
+		return telemetry.CommYtoZ
+	case DirZtoY:
+		return telemetry.CommZtoY
+	case DirZtoX:
+		return telemetry.CommZtoX
+	case DirXtoZ:
+		return telemetry.CommXtoZ
+	}
+	panic(fmt.Sprintf("pencil: no comm op for direction %d", int(d)))
 }
 
 // Decomp carries the grid extents, the process grid and its two
@@ -102,8 +105,12 @@ type Decomp struct {
 	// identical either way.
 	Overlap bool
 
+	// Telemetry, when non-nil, receives a PhaseTransposeAB timing sample
+	// and per-direction comm counters for every transpose Run. Nil is a
+	// valid no-op sink; the recording path allocates nothing either way.
+	Telemetry *telemetry.Collector
+
 	plans map[planKey]*TransposePlan
-	stats [numDirs]DirStats
 }
 
 // New builds the decomposition on the world communicator, imposing a
@@ -169,16 +176,6 @@ func (d *Decomp) XPencilLen(zLen int) int {
 	yl, yh := d.YRange()
 	zl, zh := d.ZRangeX(zLen)
 	return (yh - yl) * (zh - zl) * d.NKx
-}
-
-// Stats returns the per-direction transpose accounting accumulated so far.
-func (d *Decomp) Stats() Stats {
-	return Stats{
-		YtoZ: d.stats[DirYtoZ],
-		ZtoY: d.stats[DirZtoY],
-		ZtoX: d.stats[DirZtoX],
-		XtoZ: d.stats[DirXtoZ],
-	}
 }
 
 // YtoZ transposes fields from y-pencils to spectral z-pencils (z extent NZ)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"channeldns/internal/mpi"
+	"channeldns/internal/telemetry"
 )
 
 // planKey identifies one reusable transpose plan: the direction, the
@@ -178,6 +179,7 @@ func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
 		}
 	}
 	d := p.d
+	sp := d.Telemetry.Begin(telemetry.PhaseTransposeAB)
 	p.src, p.dst = src, dst
 	d.Pool.ForBlocks(p.np, p.pack)
 	if d.Overlap {
@@ -187,9 +189,11 @@ func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
 	}
 	d.Pool.ForBlocks(p.np, p.unpack)
 	p.src, p.dst = nil, nil
-	st := &d.stats[p.dir]
-	st.Calls++
-	st.BytesMoved += int64(16 * (len(p.sbuf) + len(p.rbuf)))
+	sp.End()
+	// Bytes through the exchange: packed send image plus unpacked receive
+	// image, 16 bytes per complex element. Messages: one per remote peer
+	// (the self block never crosses the communicator).
+	d.Telemetry.AddComm(commOp(p.dir), int64(16*(len(p.sbuf)+len(p.rbuf))), int64(p.np-1))
 	return dst
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
+	"channeldns/internal/telemetry"
 )
 
 // TestTransposePlanZeroAlloc: at P=1 every transpose direction degenerates
@@ -18,6 +19,8 @@ import (
 func TestTransposePlanZeroAlloc(t *testing.T) {
 	mpi.Run(1, func(c *mpi.Comm) {
 		d := New(c, 1, 1, 6, 8, 10, nil)
+		// Attach a live collector: the instrumented path must stay free too.
+		d.Telemetry = telemetry.NewCollector(c.Rank())
 		const nf = 3
 		src := AllocFields(nf, d.YPencilLen())
 		for f := range src {
@@ -111,33 +114,49 @@ func TestTransposePlanReuseBitwise(t *testing.T) {
 	}
 }
 
-// TestDecompStats: the per-direction accounting must count calls and move
-// a positive, direction-consistent number of bytes.
-func TestDecompStats(t *testing.T) {
+// TestDecompTelemetry: the telemetry comm accounting must count one call
+// per transpose, a positive and direction-consistent number of bytes, and
+// one PhaseTransposeAB timing sample per Run.
+func TestDecompTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
 	mpi.Run(4, func(c *mpi.Comm) {
 		d := New(c, 2, 2, 4, 6, 8, nil)
+		d.Telemetry = reg.Rank(c.Rank())
 		src := AllocFields(1, d.YPencilLen())
 		zp := d.YtoZ(nil, src)
 		xp := d.ZtoX(nil, zp, d.NZ)
 		d.XtoZ(nil, xp, d.NZ)
 		d.ZtoY(nil, zp)
-		st := d.Stats()
-		for _, ds := range []struct {
-			name string
-			s    DirStats
-		}{{"YtoZ", st.YtoZ}, {"ZtoY", st.ZtoY}, {"ZtoX", st.ZtoX}, {"XtoZ", st.XtoZ}} {
-			if ds.s.Calls != 1 {
-				t.Errorf("%s: %d calls, want 1", ds.name, ds.s.Calls)
-			}
-			if ds.s.BytesMoved <= 0 {
-				t.Errorf("%s: %d bytes moved, want > 0", ds.name, ds.s.BytesMoved)
-			}
+
+		tel := d.Telemetry
+		if got := tel.PhaseCalls(telemetry.PhaseTransposeAB); got != 4 {
+			t.Errorf("rank %d: %d transpose timing samples, want 4", c.Rank(), got)
 		}
-		if st.YtoZ.BytesMoved != st.ZtoY.BytesMoved {
-			t.Errorf("CommB pair asymmetric: %d vs %d", st.YtoZ.BytesMoved, st.ZtoY.BytesMoved)
+		bytesOf := func(op telemetry.CommOp) int64 {
+			calls, msgs, bytes := tel.CommCounts(op)
+			if calls != 1 {
+				t.Errorf("rank %d %s: %d calls, want 1", c.Rank(), op, calls)
+			}
+			if msgs != 1 { // 2x2 grid: one remote peer per sub-communicator
+				t.Errorf("rank %d %s: %d messages, want 1", c.Rank(), op, msgs)
+			}
+			if bytes <= 0 {
+				t.Errorf("rank %d %s: %d bytes moved, want > 0", c.Rank(), op, bytes)
+			}
+			return bytes
 		}
-		if st.ZtoX.BytesMoved != st.XtoZ.BytesMoved {
-			t.Errorf("CommA pair asymmetric: %d vs %d", st.ZtoX.BytesMoved, st.XtoZ.BytesMoved)
+		if bytesOf(telemetry.CommYtoZ) != bytesOf(telemetry.CommZtoY) {
+			t.Errorf("rank %d: CommB pair asymmetric", c.Rank())
+		}
+		if bytesOf(telemetry.CommZtoX) != bytesOf(telemetry.CommXtoZ) {
+			t.Errorf("rank %d: CommA pair asymmetric", c.Rank())
 		}
 	})
+	snap := reg.Snapshot()
+	if snap.Ranks != 4 {
+		t.Fatalf("snapshot ranks = %d, want 4", snap.Ranks)
+	}
+	if len(snap.Comm) != 4 {
+		t.Errorf("snapshot comm ops = %d, want 4", len(snap.Comm))
+	}
 }

@@ -5,8 +5,14 @@ import "runtime"
 // Allocation accounting: the zero-allocation steady state is a measurable
 // property, so the benchmark tools sample the Go runtime's allocation
 // counters around kernels the same way the section timers sample wall
-// clock. Readings are process-wide (runtime.ReadMemStats), so samples are
-// only meaningful around serial regions or as whole-process rates.
+// clock. Readings are process-wide (runtime.ReadMemStats): a delta
+// attributes allocations from EVERY goroutine that ran in the interval,
+// not just the caller's, so exact counts are only meaningful around serial
+// regions; around concurrent ones they are whole-process rates. For
+// attributing allocations to a specific phase of the timestep, use the
+// telemetry package's per-phase probe (Collector.SetAllocTracking), which
+// carries the same serial-only caveat and is what the BENCH_*.json
+// allocs_per_step field restates.
 
 // AllocSample is a snapshot of the runtime's cumulative allocation
 // counters.

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values (in
+// nanoseconds) land in one of a fixed set of buckets laid out as 8 linear
+// sub-buckets per power of two, giving a worst-case relative error of
+// 12.5% across the full non-negative int64 range. The bucket array is
+// preallocated inside the struct and recorded with atomic adds, so
+// Record is safe for concurrent use and never allocates — the property
+// the steady-state allocation budget depends on.
+//
+// Bucket counts are order-independent, so two histograms fed the same
+// multiset of samples are identical regardless of interleaving; Merge and
+// the quantile queries are therefore deterministic too.
+
+// histSubBits fixes the sub-bucket resolution: 2^histSubBits linear
+// sub-buckets per power-of-two major bucket.
+const histSubBits = 3
+
+// histSub is the sub-bucket count per major bucket.
+const histSub = 1 << histSubBits
+
+// histBuckets spans the full non-negative int64 range: values below
+// histSub get exact buckets, and each of the remaining (63 - histSubBits)
+// magnitudes contributes histSub sub-buckets.
+const histBuckets = (64 - histSubBits) * histSub
+
+// Histogram's zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0; the top bucket absorbs any overflow (values with the highest
+// magnitude bit set land there by construction).
+func bucketOf(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	shift := msb - histSubBits
+	idx := (shift+1)*histSub + int((uint64(v)>>uint(shift))&(histSub-1))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound of a bucket, the value
+// quantile queries report for samples in that bucket.
+func bucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	sub := idx % histSub
+	lower := int64(histSub+sub) << uint(shift)
+	return lower + (int64(1) << uint(shift)) - 1
+}
+
+// Record adds one sample. It is lock-free and allocation-free.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// recorded samples, with the histogram's relative resolution. An empty
+// histogram returns 0. q <= 0 returns (a bound on) the minimum sample;
+// q >= 1 the maximum.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the sample to report, 1-based, ceiling; q=0 -> first sample.
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Max returns an upper bound on the largest recorded sample (0 if empty).
+func (h *Histogram) Max() int64 { return h.Quantile(1) }
+
+// Merge adds other's counts into h. Safe against concurrent Record on
+// either side; the merged counts are the element-wise sums.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := other.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.total.Add(other.total.Load())
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := 0; i < histBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramEmpty: the zero value reports zero samples and zero
+// quantiles — the "no samples" edge the report builder relies on to drop
+// unsampled phases.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("empty Count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, v)
+		}
+	}
+	if h.Max() != 0 {
+		t.Errorf("empty Max = %d", h.Max())
+	}
+}
+
+// TestHistogramSingleSample: every quantile of a one-sample histogram
+// must bound that sample with the bucket's 12.5% resolution.
+func TestHistogramSingleSample(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 100, 1_000_003, 1 << 40} {
+		var h Histogram
+		h.Record(v)
+		if h.Count() != 1 {
+			t.Fatalf("Count = %d", h.Count())
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < v {
+				t.Errorf("v=%d: Quantile(%g) = %d below sample", v, q, got)
+			}
+			if v > 0 && float64(got) > float64(v)*1.125+1 {
+				t.Errorf("v=%d: Quantile(%g) = %d exceeds resolution bound", v, q, got)
+			}
+		}
+	}
+}
+
+// TestHistogramOverflowBucket: extreme values (up to MaxInt64) and
+// negative values must land in the clamping buckets without panicking or
+// corrupting counts.
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Record(math.MaxInt64)
+	h.Record(1 << 62)
+	h.Record(-5)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("min bound = %d, want 0 (negative clamps to bucket 0)", got)
+	}
+	if got := h.Max(); got < math.MaxInt64/2 {
+		t.Errorf("Max = %d, does not bound MaxInt64 region", got)
+	}
+	// The top bucket index must stay in range for any input.
+	if idx := bucketOf(math.MaxInt64); idx >= histBuckets {
+		t.Errorf("bucketOf(MaxInt64) = %d out of range", idx)
+	}
+}
+
+// TestHistogramBucketBoundsMonotonic: bucket upper bounds must be
+// strictly increasing past the linear range, and bucketOf must be
+// consistent with bucketUpper (a value is <= its bucket's upper bound and
+// > the previous bucket's).
+func TestHistogramBucketBoundsMonotonic(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		u := bucketUpper(i)
+		if u <= prev {
+			t.Fatalf("bucketUpper(%d) = %d not increasing (prev %d)", i, u, prev)
+		}
+		prev = u
+	}
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 255, 256, 1 << 20, 1<<20 + 12345} {
+		idx := bucketOf(v)
+		if v > bucketUpper(idx) {
+			t.Errorf("v=%d above its bucket %d upper %d", v, idx, bucketUpper(idx))
+		}
+		if idx > 0 && v <= bucketUpper(idx-1) {
+			t.Errorf("v=%d should be in bucket %d or lower", v, idx-1)
+		}
+	}
+}
+
+// TestHistogramQuantileOrder: p50 <= p99 <= max on a spread of samples,
+// and the median bound sits near the true median.
+func TestHistogramQuantileOrder(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	p50, p99, mx := h.Quantile(0.5), h.Quantile(0.99), h.Max()
+	if !(p50 <= p99 && p99 <= mx) {
+		t.Fatalf("quantiles out of order: p50=%d p99=%d max=%d", p50, p99, mx)
+	}
+	if p50 < 500 || float64(p50) > 500*1.125+1 {
+		t.Errorf("p50 = %d, want ~500 within resolution", p50)
+	}
+}
+
+// TestHistogramMerge: merging must equal recording the union, bucket by
+// bucket.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i * 3)
+		b.Record(i * 7)
+		both.Record(i * 3)
+		both.Record(i * 7)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), both.Count())
+	}
+	for i := 0; i < histBuckets; i++ {
+		if a.counts[i].Load() != both.counts[i].Load() {
+			t.Fatalf("bucket %d: merged %d != direct %d", i, a.counts[i].Load(), both.counts[i].Load())
+		}
+	}
+	a.Merge(nil) // must be a no-op
+	if a.Count() != both.Count() {
+		t.Fatalf("Merge(nil) changed count")
+	}
+}

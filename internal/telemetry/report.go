@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it when a field
+// changes meaning; additive changes keep the version.
+const SchemaVersion = "channeldns/bench/v1"
+
+// Host describes the machine a report was produced on.
+type Host struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// Report is the machine-readable run artifact every cmd/bench-* tool
+// emits (BENCH_<table>.json): the cross-rank phase breakdown, the
+// communication accounting, allocation counters, a config fingerprint and
+// the source revision, so a perf trajectory can be reconstructed from
+// committed artifacts alone. Field order is fixed by this struct and map
+// keys are sorted by encoding/json, so the same report data always
+// encodes to the same bytes (Encode performs the deterministic encoding).
+type Report struct {
+	Schema string `json:"schema"`
+	// Table names the paper table (or other experiment) the run
+	// reproduces: "table9", "table5", ...
+	Table string `json:"table"`
+	// GitRev is the source revision the binary was built from ("unknown"
+	// outside a stamped build or git checkout).
+	GitRev    string `json:"git_rev"`
+	GoVersion string `json:"go_version"`
+	Host      Host   `json:"host"`
+	// Config fingerprints the run: grid extents, process grid, thread
+	// count, physics knobs — whatever the tool deems identity-defining.
+	Config map[string]string `json:"config"`
+	Ranks  int               `json:"ranks"`
+	// WallSeconds is the measured wall clock of the instrumented section
+	// (for timestep runs: total time in StepOnce).
+	WallSeconds float64 `json:"wall_seconds"`
+	// PhaseSecondsSum restates the sum of mean-rank phase seconds; for a
+	// fully instrumented serial run it matches WallSeconds to within the
+	// repo's 10% acceptance bound.
+	PhaseSecondsSum float64      `json:"phase_seconds_sum"`
+	Steps           int64        `json:"steps,omitempty"`
+	Phases          []PhaseStats `json:"phases"`
+	Comm            []CommStats  `json:"comm"`
+	Flops           int64        `json:"flops,omitempty"`
+	// GFlopsSustained = Flops / WallSeconds / 1e9 (the paper's §5.3
+	// sustained-rate accounting), when both are known.
+	GFlopsSustained float64 `json:"gflops_sustained,omitempty"`
+	// AllocsPerStep is the process-wide heap-object count per step measured
+	// around the run (serial runs only; see perf.ReadAllocs).
+	AllocsPerStep float64 `json:"allocs_per_step,omitempty"`
+	// Metrics carries table-specific scalars (speedups, ratios, model
+	// values) keyed by stable snake_case names.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewReport assembles a report from a registry snapshot plus the ambient
+// build metadata. config may be nil; it is stored as an empty (non-nil)
+// map so the artifact always carries the field.
+func NewReport(table string, reg *Registry, config map[string]string) *Report {
+	snap := reg.Snapshot()
+	return NewReportFromSnapshot(table, snap, config)
+}
+
+// NewReportFromSnapshot is NewReport for an already-taken snapshot.
+func NewReportFromSnapshot(table string, snap Snapshot, config map[string]string) *Report {
+	if config == nil {
+		config = map[string]string{}
+	}
+	r := &Report{
+		Schema:          SchemaVersion,
+		Table:           table,
+		GitRev:          GitRev(),
+		GoVersion:       runtime.Version(),
+		Host:            Host{OS: runtime.GOOS, Arch: runtime.GOARCH, CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)},
+		Config:          config,
+		Ranks:           snap.Ranks,
+		WallSeconds:     snap.MeanStepSeconds,
+		PhaseSecondsSum: snap.PhaseSecondsSum(),
+		Steps:           snap.Steps,
+		Phases:          snap.Phases,
+		Comm:            snap.Comm,
+		Flops:           snap.Flops,
+	}
+	if r.WallSeconds > 0 && r.Flops > 0 {
+		// Flops is summed across ranks and steps; rate over the mean rank
+		// wall clock, divided across ranks (every rank counts the full
+		// step's flops in the serial-accounting model).
+		r.GFlopsSustained = float64(r.Flops) / r.WallSeconds / 1e9 / float64(max(1, r.Ranks))
+	}
+	return r
+}
+
+// Validate checks the structural invariants the bench-smoke CI target
+// (and the committed artifacts) rely on. It returns the first violation.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.Table == "" {
+		return fmt.Errorf("empty table name")
+	}
+	if r.GitRev == "" {
+		return fmt.Errorf("empty git_rev (use \"unknown\" when unstamped)")
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("empty go_version")
+	}
+	if r.Config == nil {
+		return fmt.Errorf("missing config fingerprint")
+	}
+	if r.Ranks < 0 {
+		return fmt.Errorf("negative ranks %d", r.Ranks)
+	}
+	if r.WallSeconds < 0 || r.PhaseSecondsSum < 0 {
+		return fmt.Errorf("negative wall accounting")
+	}
+	seen := map[string]bool{}
+	for _, p := range r.Phases {
+		if _, ok := PhaseFromString(p.Phase); !ok {
+			return fmt.Errorf("unknown phase %q", p.Phase)
+		}
+		if seen[p.Phase] {
+			return fmt.Errorf("duplicate phase %q", p.Phase)
+		}
+		seen[p.Phase] = true
+		if p.Calls <= 0 {
+			return fmt.Errorf("phase %q: %d calls (zero-call phases must be omitted)", p.Phase, p.Calls)
+		}
+		if p.MinRankSeconds < 0 || p.MinRankSeconds > p.MeanRankSeconds || p.MeanRankSeconds > p.MaxRankSeconds {
+			return fmt.Errorf("phase %q: min/mean/max out of order (%g/%g/%g)",
+				p.Phase, p.MinRankSeconds, p.MeanRankSeconds, p.MaxRankSeconds)
+		}
+		if p.TotalSeconds < 0 {
+			return fmt.Errorf("phase %q: negative total", p.Phase)
+		}
+		if p.Imbalance < 0 {
+			return fmt.Errorf("phase %q: negative imbalance", p.Phase)
+		}
+		if p.P50Seconds < 0 || p.P99Seconds < p.P50Seconds {
+			return fmt.Errorf("phase %q: quantiles out of order (p50=%g p99=%g)",
+				p.Phase, p.P50Seconds, p.P99Seconds)
+		}
+	}
+	seenOp := map[string]bool{}
+	for _, cst := range r.Comm {
+		if cst.Op == "" || seenOp[cst.Op] {
+			return fmt.Errorf("bad or duplicate comm op %q", cst.Op)
+		}
+		seenOp[cst.Op] = true
+		if cst.Calls <= 0 || cst.Messages < 0 || cst.Bytes < 0 {
+			return fmt.Errorf("comm %q: bad counts (calls=%d messages=%d bytes=%d)",
+				cst.Op, cst.Calls, cst.Messages, cst.Bytes)
+		}
+	}
+	for k, v := range r.Metrics {
+		if k == "" {
+			return fmt.Errorf("empty metric name")
+		}
+		if v != v { // NaN poisons downstream JSON tooling
+			return fmt.Errorf("metric %q is NaN", k)
+		}
+	}
+	return nil
+}
+
+// ValidateJSON parses raw as a Report and validates it.
+func ValidateJSON(raw []byte) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Encode writes the canonical (deterministic, indented) JSON form.
+func (r *Report) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile validates the report and writes its canonical encoding,
+// creating parent directories as needed.
+func (r *Report) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("telemetry: refusing to write invalid report %s: %w", path, err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// GitRev returns the source revision: the build-info VCS stamp when the
+// binary carries one, else the checked-out HEAD found by walking up from
+// the working directory, else "unknown". `go run` does not stamp VCS
+// info, which is why the .git fallback exists.
+func GitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "unknown"
+	}
+	for {
+		if rev := gitHead(filepath.Join(dir, ".git")); rev != "" {
+			return rev
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "unknown"
+		}
+		dir = parent
+	}
+}
+
+// gitHead resolves HEAD in a .git directory without invoking git.
+func gitHead(gitDir string) string {
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return ""
+	}
+	s := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(s, "ref: ") {
+		return s // detached HEAD: the hash itself
+	}
+	ref := strings.TrimPrefix(s, "ref: ")
+	if b, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(b))
+	}
+	// Packed refs fallback.
+	if b, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if strings.HasSuffix(line, " "+ref) {
+				return strings.Fields(line)[0]
+			}
+		}
+	}
+	return ""
+}

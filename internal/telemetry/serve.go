@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Live endpoint: cmd/dns -listen exposes the standard Go observability
+// surface next to the run's telemetry, so a long simulation can be
+// inspected without stopping it:
+//
+//	/debug/pprof/...   net/http/pprof profiles (CPU, heap, goroutines)
+//	/debug/vars        expvar (runtime memstats + the published snapshot)
+//	/telemetry         the current aggregated Report as canonical JSON
+//
+// The handler never blocks the simulation: snapshots read atomic counters.
+
+var publishOnce sync.Once
+
+// Handler returns the observability mux for a registry. report builds the
+// current Report on demand (typically a closure over the run's table name
+// and config fingerprint).
+func Handler(reg *Registry, report func() *Report) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("channeldns.telemetry", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := report().Encode(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. "localhost:6060";
+// ":0" picks a free port) and returns the bound address. The server runs
+// on a background goroutine for the life of the process.
+func Serve(addr string, reg *Registry, report func() *Report) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h := Handler(reg, report)
+	go func() { _ = http.Serve(ln, h) }()
+	return ln.Addr().String(), nil
+}

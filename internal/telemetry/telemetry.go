@@ -1,0 +1,337 @@
+// Package telemetry is the observability spine of the reproduction: one
+// accounting vocabulary for everything the paper's timing tables measure.
+// Each simulated MPI rank owns a Collector; kernels open phase-scoped
+// Regions around the leaf operations of a timestep (FFT stages, global
+// transposes, banded solves, pointwise products) and bump monotonic
+// counters for communication traffic and floating-point work. A Registry
+// aggregates the per-rank collectors into the min/mean/max/imbalance
+// summaries the paper's per-platform tables report, and report.go encodes
+// them as the machine-readable BENCH_*.json artifacts every cmd/bench-*
+// tool emits.
+//
+// The steady-state recording path allocates nothing: spans are value
+// types, histograms are fixed arrays bumped with atomic adds, and a nil
+// *Collector is a valid no-op sink, so instrumented kernels pay two calls
+// to time.Now and a few atomic operations per region when telemetry is
+// enabled and almost nothing when it is not. All Collector methods are
+// safe for concurrent use; region totals and histogram counts are order-
+// independent, which is what makes aggregated reports deterministic for a
+// given set of samples regardless of worker interleaving.
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Phase partitions a timestep's wall clock the way the paper's Tables
+// 5-11 do. Regions are opened around *leaf* operations (no phase nests
+// inside another), so the per-phase totals sum to the instrumented wall
+// clock.
+type Phase uint8
+
+// The phase taxonomy. README "Observability" maps each phase to the
+// paper-table column it reproduces.
+const (
+	// PhaseNonlinear: physical-space work of §2.3 — the fused inverse-x /
+	// pointwise-product / forward-x block plus the spectral right-hand-side
+	// assembly. Paper column "N-S advance" (with ViscousSolve and Pressure).
+	PhaseNonlinear Phase = iota
+	// PhaseFFTForward: batched forward (physical -> spectral) z transforms
+	// with 3/2-rule truncation. Paper column "FFT".
+	PhaseFFTForward
+	// PhaseFFTInverse: batched inverse (spectral -> physical) z transforms
+	// with 3/2-rule padding. Paper column "FFT".
+	PhaseFFTInverse
+	// PhaseTransposeAB: the four global transposes (alltoallv on the CommA
+	// and CommB sub-communicators, pack and unpack included, §4.3). Paper
+	// column "Transpose".
+	PhaseTransposeAB
+	// PhaseViscousSolve: the implicit RK3 substep advance — per-wavenumber
+	// banded solves for omega_y-hat and phi-hat plus the influence-matrix
+	// correction (Eq. 3-4). Paper column "N-S advance".
+	PhaseViscousSolve
+	// PhasePressure: velocity recovery from (v, omega_y) through continuity
+	// — the role the pressure solve plays in primitive-variable codes.
+	// Paper column "N-S advance".
+	PhasePressure
+	// PhaseCollective: barriers, reductions, broadcasts and gathers outside
+	// the transpose path (CFL reductions, statistics collectives).
+	PhaseCollective
+	// NumPhases is the number of phases (array extent, not a phase).
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"nonlinear", "fft_forward", "fft_inverse", "transpose",
+	"viscous_solve", "pressure", "collective",
+}
+
+// String returns the snake_case phase name used in reports.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// PhaseFromString inverts String; ok is false for unknown names.
+func PhaseFromString(s string) (Phase, bool) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), true
+		}
+	}
+	return 0, false
+}
+
+// CommOp identifies one communication channel in the comm accounting:
+// the four global transpose directions plus everything else.
+type CommOp uint8
+
+// Communication channels.
+const (
+	CommYtoZ CommOp = iota // y-pencils -> z-pencils (CommB)
+	CommZtoY               // z-pencils -> y-pencils (CommB)
+	CommZtoX               // z-pencils -> x-pencils (CommA)
+	CommXtoZ               // x-pencils -> z-pencils (CommA)
+	CommCollective         // barriers, reductions, broadcasts, gathers
+	NumCommOps
+)
+
+var commOpNames = [NumCommOps]string{"YtoZ", "ZtoY", "ZtoX", "XtoZ", "collective"}
+
+// String returns the channel name used in reports (matching the paper's
+// transpose direction labels).
+func (op CommOp) String() string {
+	if op < NumCommOps {
+		return commOpNames[op]
+	}
+	return "unknown"
+}
+
+// phaseRec is the per-phase accumulator inside a Collector.
+type phaseRec struct {
+	ns     atomic.Int64 // total time inside the phase
+	calls  atomic.Int64
+	allocs atomic.Int64 // heap objects, only when alloc tracking is on
+	hist   Histogram    // per-region latency
+}
+
+// commRec is the per-channel communication accumulator.
+type commRec struct {
+	calls    atomic.Int64
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+// Collector accumulates one rank's telemetry. The zero value is ready to
+// use; a nil *Collector is a valid sink whose methods do nothing, so
+// instrumented code never branches on "telemetry enabled".
+type Collector struct {
+	rank int
+
+	phases [NumPhases]phaseRec
+	comm   [NumCommOps]commRec
+
+	flops    atomic.Int64
+	steps    atomic.Int64
+	stepNs   atomic.Int64
+	stepHist Histogram
+
+	// allocTrack enables the serial-only per-phase allocation probe; see
+	// SetAllocTracking.
+	allocTrack atomic.Bool
+}
+
+// NewCollector returns a collector labeled with an MPI rank. Collectors
+// are usually obtained from a Registry; standalone construction is for
+// tests and single-rank tools.
+func NewCollector(rank int) *Collector { return &Collector{rank: rank} }
+
+// Rank returns the rank label.
+func (c *Collector) Rank() int {
+	if c == nil {
+		return 0
+	}
+	return c.rank
+}
+
+// Span is an open region returned by Begin. It is a value type: starting
+// and ending a region performs no heap allocation. End must be called on
+// the goroutine's own copy; spans must not be shared.
+type Span struct {
+	c     *Collector
+	phase Phase
+	t0    time.Time
+	m0    uint64 // Mallocs at Begin, when alloc tracking is on
+}
+
+// Begin opens a phase region. On a nil collector it returns an inert span.
+func (c *Collector) Begin(p Phase) Span {
+	if c == nil {
+		return Span{}
+	}
+	sp := Span{c: c, phase: p, t0: time.Now()}
+	if c.allocTrack.Load() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		sp.m0 = ms.Mallocs
+	}
+	return sp
+}
+
+// End closes the region, crediting its duration (and, under alloc
+// tracking, its heap-object delta) to the phase.
+func (sp Span) End() {
+	c := sp.c
+	if c == nil {
+		return
+	}
+	d := time.Since(sp.t0)
+	rec := &c.phases[sp.phase]
+	rec.ns.Add(int64(d))
+	rec.calls.Add(1)
+	rec.hist.Record(int64(d))
+	if c.allocTrack.Load() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rec.allocs.Add(int64(ms.Mallocs - sp.m0))
+	}
+}
+
+// AddComm credits one communication operation moving the given payload
+// bytes as the given number of point-to-point messages.
+func (c *Collector) AddComm(op CommOp, bytes, messages int64) {
+	if c == nil {
+		return
+	}
+	rec := &c.comm[op]
+	rec.calls.Add(1)
+	rec.messages.Add(messages)
+	rec.bytes.Add(bytes)
+}
+
+// AddFlops credits floating-point work (typically the machine model's
+// per-step operation count).
+func (c *Collector) AddFlops(n int64) {
+	if c == nil {
+		return
+	}
+	c.flops.Add(n)
+}
+
+// StepDone records one completed timestep of the given wall-clock
+// duration.
+func (c *Collector) StepDone(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.steps.Add(1)
+	c.stepNs.Add(int64(d))
+	c.stepHist.Record(int64(d))
+}
+
+// SetAllocTracking toggles the per-phase allocation probe: when on, every
+// region samples runtime.ReadMemStats at Begin and End and credits the
+// heap-object delta to its phase.
+//
+// The probe is SERIAL-ONLY by construction: the runtime counters are
+// process-wide, so the deltas are exact only when nothing else allocates
+// concurrently — one rank, nil worker pool, no background goroutines.
+// Multi-rank or pooled runs will attribute other goroutines' allocations
+// to whatever phase happens to be open. It is also expensive (ReadMemStats
+// briefly stops the world per region) and perturbs timings; keep it off
+// for performance runs. Tests asserting exact deltas must skip under the
+// race detector (telemetry.RaceEnabled), whose instrumentation allocates.
+func (c *Collector) SetAllocTracking(on bool) {
+	if c == nil {
+		return
+	}
+	c.allocTrack.Store(on)
+}
+
+// PhaseSeconds returns the accumulated wall clock inside a phase.
+func (c *Collector) PhaseSeconds(p Phase) float64 {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.phases[p].ns.Load()).Seconds()
+}
+
+// PhaseCalls returns the number of closed regions of a phase.
+func (c *Collector) PhaseCalls(p Phase) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.phases[p].calls.Load()
+}
+
+// PhaseAllocs returns the heap objects credited to a phase by the alloc
+// probe (zero unless SetAllocTracking(true) was active).
+func (c *Collector) PhaseAllocs(p Phase) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.phases[p].allocs.Load()
+}
+
+// CommCounts returns the accumulated (calls, messages, bytes) of a
+// communication channel.
+func (c *Collector) CommCounts(op CommOp) (calls, messages, bytes int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	rec := &c.comm[op]
+	return rec.calls.Load(), rec.messages.Load(), rec.bytes.Load()
+}
+
+// Steps returns the number of recorded timesteps.
+func (c *Collector) Steps() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps.Load()
+}
+
+// StepSeconds returns the total recorded timestep wall clock.
+func (c *Collector) StepSeconds() float64 {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.stepNs.Load()).Seconds()
+}
+
+// Flops returns the accumulated floating-point work.
+func (c *Collector) Flops() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.flops.Load()
+}
+
+// Reset zeroes every accumulator (counters, histograms, step records),
+// keeping the rank label. Benchmark harnesses call it after warmup.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.phases {
+		rec := &c.phases[i]
+		rec.ns.Store(0)
+		rec.calls.Store(0)
+		rec.allocs.Store(0)
+		rec.hist.Reset()
+	}
+	for i := range c.comm {
+		rec := &c.comm[i]
+		rec.calls.Store(0)
+		rec.messages.Store(0)
+		rec.bytes.Store(0)
+	}
+	c.flops.Store(0)
+	c.steps.Store(0)
+	c.stepNs.Store(0)
+	c.stepHist.Reset()
+}
