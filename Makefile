@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-alloc bench-smoke
+.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff clean
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry
+	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace
 
 # Paper-table benchmarks with allocation reporting; see README
 # "Performance notes" for how to read the allocs/op columns.
@@ -38,5 +38,18 @@ bench-smoke:
 	$(GO) run ./cmd/bench-node -json .bench-smoke/BENCH_table2_3_4.json > /dev/null
 	$(GO) run ./cmd/bench-comm -json .bench-smoke/BENCH_table5.json > /dev/null
 	$(GO) run ./cmd/bench-fft -json .bench-smoke/BENCH_table6.json > /dev/null
-	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9.json > /dev/null
-	$(GO) run ./cmd/bench-validate .bench-smoke/*.json
+	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9.json -trace .bench-smoke/table9.trace.json > /dev/null
+	$(GO) run ./cmd/dns -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -trace .bench-smoke/dns.trace.json -report .bench-smoke/BENCH_dns.json > /dev/null
+	$(GO) run ./cmd/bench-validate .bench-smoke/BENCH_*.json
+	$(GO) run ./cmd/bench-validate -trace .bench-smoke/*.trace.json
+
+# Perf-regression gate: compare the fresh bench-smoke timestep report
+# against the committed baseline. Warn-only because the baseline's timings
+# come from another machine (and another grid size); structural mismatches
+# (schema, missing phases/comm channels) still fail.
+bench-diff: bench-smoke
+	$(GO) run ./cmd/bench-diff -warn-only BENCH_table9.json .bench-smoke/BENCH_table9.json
+
+clean:
+	rm -rf .bench-smoke
+	rm -f *.trace.json

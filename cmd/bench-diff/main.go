@@ -1,0 +1,73 @@
+// Command bench-diff compares two BENCH_*.json artifacts metric-by-metric
+// and emits a pass/warn/fail verdict — the repo's perf-regression gate.
+//
+//	bench-diff [-warn-ratio 1.25] [-fail-ratio 1.5] [-warn-only] baseline.json candidate.json
+//
+// Structural mismatches (schema, table, missing phases/comm channels/
+// metrics) always fail. Numeric comparisons (per-step timings, sustained
+// GFLOP/s, allocations) fail at -fail-ratio and warn at -warn-ratio; with
+// -warn-only they are capped at warn, which is how `make ci` compares a
+// fresh bench-smoke run against the committed baseline from another
+// machine. When the two reports' config fingerprints differ, numeric
+// comparisons are informational only. Exit status: 0 pass/warn, 1 fail,
+// 2 usage or unreadable/invalid artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"channeldns/internal/telemetry"
+)
+
+func main() {
+	var (
+		warnRatio = flag.Float64("warn-ratio", 0, "candidate/baseline ratio that warns (0 = default 1.25)")
+		failRatio = flag.Float64("fail-ratio", 0, "candidate/baseline ratio that fails (0 = default 1.5)")
+		minSecs   = flag.Float64("min-seconds", 0, "noise floor: per-step timings below this on both sides pass (0 = default 100us)")
+		warnOnly  = flag.Bool("warn-only", false, "cap numeric regressions at warn (structural mismatches still fail)")
+		quiet     = flag.Bool("q", false, "print only the verdict line")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bench-diff [flags] baseline.json candidate.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: candidate: %v\n", err)
+		os.Exit(2)
+	}
+	res := telemetry.Diff(base, cand, telemetry.DiffOptions{
+		WarnRatio:  *warnRatio,
+		FailRatio:  *failRatio,
+		MinSeconds: *minSecs,
+		WarnOnly:   *warnOnly,
+	})
+	if *quiet {
+		fmt.Printf("verdict: %s\n", res.Verdict)
+	} else {
+		res.Write(os.Stdout)
+	}
+	if res.Verdict == telemetry.Fail {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*telemetry.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.ValidateJSON(raw)
+}

@@ -18,6 +18,7 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/perf"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	configs := flag.Bool("configs", false, "print Tables 7/8 (benchmark grids)")
 	live := flag.Bool("live", false, "run live in-process timesteps")
 	jsonPath := flag.String("json", "", "run serial instrumented RK3 steps and write the telemetry report here")
+	tracePath := flag.String("trace", "", "also record the -json run's flight recorder and write Chrome trace-event JSON here")
 	nx := flag.Int("nx", 32, "grid Nx for the -json run")
 	ny := flag.Int("ny", 33, "grid Ny for the -json run")
 	nz := flag.Int("nz", 32, "grid Nz for the -json run")
@@ -50,7 +52,7 @@ func main() {
 		runLive()
 	}
 	if *jsonPath != "" {
-		if err := runReport(*jsonPath, *nx, *ny, *nz, *steps); err != nil {
+		if err := runReport(*jsonPath, *tracePath, *nx, *ny, *nz, *steps); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -63,10 +65,15 @@ func main() {
 // so phase_seconds_sum tracks wall_seconds to within the repo's 10%
 // acceptance bound; allocs_per_step restates the process-wide steady-state
 // allocation count the core alloc budget bounds.
-func runReport(path string, nx, ny, nz, steps int) error {
+func runReport(path, tracePath string, nx, ny, nz, steps int) error {
 	reg := telemetry.NewRegistry()
 	cfg := core.Config{Nx: nx, Ny: ny, Nz: nz, ReTau: 180, Dt: 1e-3, Forcing: 1,
 		Telemetry: reg}
+	var trc *trace.Trace
+	if tracePath != "" {
+		trc = trace.New(0)
+		cfg.Trace = trc
+	}
 	var allocsPerStep float64
 	var runErr error
 	mpi.Run(1, func(c *mpi.Comm) {
@@ -92,8 +99,17 @@ func runReport(path string, nx, ny, nz, steps int) error {
 		"pa": "1", "pb": "1", "threads": "1", "form": "divergence",
 	})
 	rep.AllocsPerStep = allocsPerStep
+	if trc != nil {
+		rep.Trace = trace.Summarize(trc)
+	}
 	if err := rep.WriteFile(path); err != nil {
 		return err
+	}
+	if trc != nil {
+		if err := trc.WriteChromeFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", tracePath)
 	}
 	fmt.Printf("wrote %s (%d steps, %.4fs/step, phase sum %.4fs)\n",
 		path, steps, rep.WallSeconds/float64(steps), rep.PhaseSecondsSum/float64(steps))

@@ -1,8 +1,10 @@
 // Command bench-validate checks BENCH_*.json telemetry reports against the
 // channeldns/bench/v1 schema: strict field parsing, phase-name and ordering
-// invariants, and sane comm/metric accounting. The bench-smoke CI target
-// runs it over every artifact the cmd/bench-* tools emit; run it by hand
-// over committed BENCH_*.json files after regenerating them.
+// invariants, and sane comm/metric accounting. With -trace it instead
+// validates Chrome trace-event files (valid JSON, >0 events, monotone
+// timestamps per track). The bench-smoke CI target runs it over every
+// artifact the cmd/bench-* tools emit; run it by hand over committed
+// BENCH_*.json files after regenerating them.
 //
 // Exit status is non-zero if any file fails, so it composes with make.
 package main
@@ -13,13 +15,15 @@ import (
 	"os"
 
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 func main() {
 	quiet := flag.Bool("q", false, "print only failures")
+	traceMode := flag.Bool("trace", false, "validate Chrome trace-event files instead of BENCH reports")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bench-validate [-q] report.json ...")
+		fmt.Fprintln(os.Stderr, "usage: bench-validate [-q] [-trace] file.json ...")
 		os.Exit(2)
 	}
 	failed := 0
@@ -28,6 +32,18 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			failed++
+			continue
+		}
+		if *traceMode {
+			n, err := trace.ValidateChrome(raw)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", path, err)
+				failed++
+				continue
+			}
+			if !*quiet {
+				fmt.Printf("%s: ok (%d events)\n", path, n)
+			}
 			continue
 		}
 		r, err := telemetry.ValidateJSON(raw)

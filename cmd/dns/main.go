@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"channeldns/internal/core"
@@ -18,6 +19,7 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/stats"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 		spectra = flag.Bool("spectra", false, "print 1-D energy spectra at selected heights")
 		listen  = flag.String("listen", "", "serve live telemetry + pprof + expvar on this address (e.g. localhost:6060)")
 		repPath = flag.String("report", "", "write the final telemetry report (BENCH-schema JSON) to this file")
+		trcPath = flag.String("trace", "", "record a flight-recorder trace and write it as Chrome trace-event JSON (open in Perfetto) to this file")
+		trcCap  = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default)")
 	)
 	flag.Parse()
 
@@ -51,24 +55,36 @@ func main() {
 		PA: *pa, PB: *pb, Pool: par.NewPool(*threads),
 	}
 	var reg *telemetry.Registry
-	if *listen != "" || *repPath != "" {
+	if *listen != "" || *repPath != "" || *trcPath != "" {
 		reg = telemetry.NewRegistry()
 		cfg.Telemetry = reg
 	}
+	var trc *trace.Trace
+	if *trcPath != "" || *listen != "" {
+		trc = trace.New(*trcCap)
+		cfg.Trace = trc
+	}
 	buildReport := func() *telemetry.Report {
-		return telemetry.NewReport("dns", reg, map[string]string{
+		rep := telemetry.NewReport("dns", reg, map[string]string{
 			"nx": fmt.Sprint(*nx), "ny": fmt.Sprint(*ny), "nz": fmt.Sprint(*nz),
 			"re_tau": fmt.Sprint(*retau), "dt": fmt.Sprint(*dt),
 			"steps": fmt.Sprint(*steps), "pa": fmt.Sprint(*pa), "pb": fmt.Sprint(*pb),
 			"threads": fmt.Sprint(*threads), "form": *form,
 		})
+		if trc != nil {
+			rep.Trace = trace.Summarize(trc)
+		}
+		return rep
 	}
 	if *listen != "" {
-		addr, err := telemetry.Serve(*listen, reg, buildReport)
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(reg, buildReport))
+		mux.Handle("/trace", trace.Handler(trc))
+		addr, err := telemetry.ServeHandler(*listen, mux)
 		if err != nil {
 			log.Fatalf("telemetry endpoint: %v", err)
 		}
-		fmt.Printf("telemetry endpoint: http://%s/telemetry (pprof under /debug/pprof/)\n", addr)
+		fmt.Printf("telemetry endpoint: http://%s/telemetry (trace under /trace, pprof under /debug/pprof/)\n", addr)
 	}
 	switch *form {
 	case "divergence":
@@ -200,6 +216,14 @@ func main() {
 	})
 	if finalErr != nil {
 		log.Fatal(finalErr)
+	}
+	if *trcPath != "" {
+		if err := trc.WriteChromeFile(*trcPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (open in ui.perfetto.dev or chrome://tracing)\n", *trcPath)
+		fmt.Println("\nper-step critical path:")
+		trace.WriteStragglerTable(os.Stdout, trace.Analyze(trc.Events()))
 	}
 	if *repPath != "" {
 		if err := buildReport().WriteFile(*repPath); err != nil {

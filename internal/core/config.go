@@ -15,6 +15,7 @@ import (
 
 	"channeldns/internal/par"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 // Config selects the resolution, physics and parallel layout of a Solver.
@@ -54,6 +55,12 @@ type Config struct {
 	// (the default) disables instrumentation; the hot path is
 	// allocation-free either way.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, attaches each rank's flight recorder so every
+	// phase span, transpose exchange window, pairwise peer wait and
+	// completed step lands in the per-rank event ring (see internal/trace).
+	// Tracing implies telemetry: when Telemetry is nil a private registry
+	// is created, since the phase events piggyback on the telemetry spans.
+	Trace *trace.Trace
 	// UseGeneralSolver replaces the customized compact banded solver in the
 	// time advance with the general pivoted banded solver (complex right-
 	// hand sides via two sequential real solves) — the configuration the

@@ -11,6 +11,7 @@ import (
 	"channeldns/internal/mpi"
 	"channeldns/internal/pencil"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 // Solver holds the distributed state of a channel DNS: B-spline coefficients
@@ -72,6 +73,8 @@ type Solver struct {
 	// credited once per StepOnce.
 	tel       *telemetry.Collector
 	stepFlops int64
+	// trc is this rank's flight recorder (nil when Config.Trace is unset).
+	trc *trace.Recorder
 
 	Time float64
 	Step int
@@ -106,6 +109,12 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 
+	if cfg.Trace != nil && cfg.Telemetry == nil {
+		// Phase events piggyback on telemetry spans, so tracing needs a
+		// collector even when the caller did not ask for aggregates.
+		cfg.Telemetry = telemetry.NewRegistry()
+		s.Cfg.Telemetry = cfg.Telemetry
+	}
 	if cfg.Telemetry != nil {
 		s.tel = cfg.Telemetry.Rank(world.Rank())
 		// Attach before the cartesian splits below so CommA/CommB inherit
@@ -113,8 +122,16 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 		world.SetTelemetry(s.tel)
 		s.stepFlops = int64(machine.StepFlops(cfg.Nx, cfg.Ny, cfg.Nz) / float64(world.Size()))
 	}
+	if cfg.Trace != nil {
+		s.trc = cfg.Trace.Rank(world.Rank())
+		// Same pre-split attach, so the sub-communicators inherit the
+		// recorder for their per-peer exchange events.
+		world.SetTracer(s.trc)
+		s.tel.SetTracer(s.trc)
+	}
 	s.D = pencil.New(world, cfg.PA, cfg.PB, g.NKx(), g.Nz, g.Ny, cfg.Pool)
 	s.D.Telemetry = s.tel
+	s.D.Trace = s.trc
 	s.kxlo, s.kxhi = s.D.KxRange()
 	s.kzlo, s.kzhi = s.D.KzRangeY()
 	s.nw = (s.kxhi - s.kxlo) * (s.kzhi - s.kzlo)

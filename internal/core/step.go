@@ -18,7 +18,9 @@ func (s *Solver) StepOnce() {
 	t0 := time.Now()
 	dt := s.Cfg.Dt
 	s.ensureOps(dt)
+	s.trc.BeginStep(int64(s.Step))
 	for sub := 0; sub < 3; sub++ {
+		s.trc.SetStage(sub)
 		hg, hv, mHx, mHz := s.nonlinearTerms()
 		s.advanceSubstep(sub, dt, hg, hv, mHx, mHz)
 		// Swap current and previous nonlinear buffers instead of
@@ -30,6 +32,8 @@ func (s *Solver) StepOnce() {
 			s.meanHzPrev, s.ws.meanHzCur = mHz, s.meanHzPrev
 		}
 	}
+	s.trc.SetStage(-1)
+	s.trc.EndStep(t0, time.Now())
 	s.Time += dt
 	s.Step++
 	s.tel.StepDone(time.Since(t0))

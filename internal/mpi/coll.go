@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 	"unsafe"
 
 	"channeldns/internal/telemetry"
@@ -215,11 +216,18 @@ func AlltoallvOverlapInto[T any](c *Comm, out, data []T, sendCounts, sendDispls,
 		c.send(dst, tagAlltoall, blk)
 	}
 	for i, r := range reqs {
+		var t0 time.Time
+		if c.trc != nil {
+			t0 = time.Now()
+		}
 		in := WaitT[T](r)
 		src := srcs[i]
 		if len(in) != recvCounts[src] {
 			panic(fmt.Sprintf("mpi: AlltoallvOverlap rank %d expected %d from %d, got %d",
 				c.rank, recvCounts[src], src, len(in)))
+		}
+		if c.trc != nil {
+			c.trc.Peer(src, int64(len(in))*sizeofT[T](), t0, time.Now())
 		}
 		copy(out[recvDispls[src]:], in)
 	}
@@ -258,10 +266,17 @@ func AlltoallvInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCo
 		src := (c.rank - s + p) % p
 		blk := append([]T(nil), data[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]]...)
 		c.send(dst, tagAlltoall, blk)
+		var t0 time.Time
+		if c.trc != nil {
+			t0 = time.Now()
+		}
 		in := c.recv(src, tagAlltoall).([]T)
 		if len(in) != recvCounts[src] {
 			panic(fmt.Sprintf("mpi: Alltoallv rank %d expected %d elements from %d, got %d",
 				c.rank, recvCounts[src], src, len(in)))
+		}
+		if c.trc != nil {
+			c.trc.Peer(src, int64(len(in))*sizeofT[T](), t0, time.Now())
 		}
 		copy(out[recvDispls[src]:], in)
 	}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 // AnyTag matches any tag in Recv.
@@ -115,12 +116,24 @@ type Comm struct {
 	// transpose plans account that traffic per direction, and counting it
 	// twice would corrupt the comm tables.
 	tel *telemetry.Collector
+
+	// trc, when non-nil, records one flight-recorder event per pairwise
+	// peer exchange inside the alltoallv family — the per-peer wait
+	// timeline behind the straggler analysis. Inherited like tel. The
+	// aggregate telemetry double-counting concern does not apply: trace
+	// events are a timeline, not counters.
+	trc *trace.Recorder
 }
 
 // SetTelemetry attaches a per-rank telemetry collector to the communicator.
 // Communicators split from this one afterwards inherit the collector; a nil
 // collector (the default) makes the instrumentation a no-op.
 func (c *Comm) SetTelemetry(t *telemetry.Collector) { c.tel = t }
+
+// SetTracer attaches a per-rank flight recorder to the communicator.
+// Communicators split from this one afterwards inherit it; nil (the
+// default) records nothing.
+func (c *Comm) SetTracer(r *trace.Recorder) { c.trc = r }
 
 // Run starts size ranks, invoking fn on each with its world communicator,
 // and returns when every rank has finished.
@@ -259,5 +272,5 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	// All members derive the same child id deterministically.
 	id := c.id*1_000_003 + int64(c.splitSeq)*1009 + int64(color) + 7
-	return &Comm{w: c.w, id: id, rank: newRank, group: group, tel: c.tel}
+	return &Comm{w: c.w, id: id, rank: newRank, group: group, tel: c.tel, trc: c.trc}
 }

@@ -27,6 +27,7 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/pencil"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 // Kernel is a distributed parallel-FFT pipeline instance; construct with
@@ -51,6 +52,13 @@ type Kernel struct {
 	// transposes report through the shared Decomp collector. Set with
 	// SetTelemetry.
 	tel *telemetry.Collector
+
+	// trc, when non-nil, marks each Cycle as one flight-recorder step so
+	// the straggler analysis applies to the FFT benchmark the same way it
+	// does to DNS timesteps. Set with SetTrace; cycles counts completed
+	// cycles for the step labels.
+	trc    *trace.Recorder
+	cycles int64
 }
 
 // SetTelemetry attaches a per-rank telemetry collector to the kernel and
@@ -60,6 +68,19 @@ type Kernel struct {
 func (k *Kernel) SetTelemetry(t *telemetry.Collector) {
 	k.tel = t
 	k.D.Telemetry = t
+}
+
+// SetTrace attaches a per-rank flight recorder to the kernel, its
+// decomposition (transpose exchange windows) and the decomposition's
+// communicators (per-peer exchange waits). Phase events additionally
+// require the recorder to be attached to the collector passed to
+// SetTelemetry (telemetry.Collector.SetTracer).
+func (k *Kernel) SetTrace(r *trace.Recorder) {
+	k.trc = r
+	k.D.Trace = r
+	k.D.Cart.SetTracer(r)
+	k.D.A.SetTracer(r)
+	k.D.B.SetTracer(r)
 }
 
 // kernelWorker holds one worker's transform scratch.
@@ -180,6 +201,9 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 	nkx := d.NKx
 	b := k.cycleBufsFor(len(fields))
 
+	cyc0 := time.Now()
+	k.trc.BeginStep(k.cycles)
+
 	t0 := time.Now()
 	zp := d.YtoZ(b.zp, fields)
 	tm.Transpose += time.Since(t0)
@@ -260,5 +284,7 @@ func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 	t0 = time.Now()
 	out := d.ZtoY(b.out, zp2)
 	tm.Transpose += time.Since(t0)
+	k.trc.EndStep(cyc0, time.Now())
+	k.cycles++
 	return out, tm
 }

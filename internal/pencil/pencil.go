@@ -26,6 +26,7 @@ import (
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 // Chunk returns the half-open index range [lo, hi) that rank r of p owns
@@ -109,6 +110,12 @@ type Decomp struct {
 	// and per-direction comm counters for every transpose Run. Nil is a
 	// valid no-op sink; the recording path allocates nothing either way.
 	Telemetry *telemetry.Collector
+
+	// Trace, when non-nil, records each transpose's wire interval (the
+	// alltoallv between pack and unpack) as a flight-recorder exchange
+	// event, giving the straggler analysis the communication window inside
+	// the aggregate PhaseTransposeAB span.
+	Trace *trace.Recorder
 
 	plans map[planKey]*TransposePlan
 }

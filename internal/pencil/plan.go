@@ -2,6 +2,7 @@ package pencil
 
 import (
 	"fmt"
+	"time"
 
 	"channeldns/internal/mpi"
 	"channeldns/internal/telemetry"
@@ -182,10 +183,19 @@ func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
 	sp := d.Telemetry.Begin(telemetry.PhaseTransposeAB)
 	p.src, p.dst = src, dst
 	d.Pool.ForBlocks(p.np, p.pack)
+	var xt0 time.Time
+	if d.Trace != nil {
+		xt0 = time.Now()
+	}
 	if d.Overlap {
 		mpi.AlltoallvOverlapInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
 	} else {
 		mpi.AlltoallvInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
+	}
+	if d.Trace != nil {
+		// The wire interval: the alltoallv alone, between pack and unpack —
+		// nested inside the enclosing transpose phase span on the timeline.
+		d.Trace.Exchange(commOp(p.dir), int64(16*(len(p.sbuf)+len(p.rbuf))), xt0, time.Now())
 	}
 	d.Pool.ForBlocks(p.np, p.unpack)
 	p.src, p.dst = nil, nil

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report diffing: the perf-regression gate behind cmd/bench-diff. Two
+// BENCH_*.json artifacts are compared metric-by-metric against ratio
+// thresholds; the result is a per-metric line list and an overall
+// pass/warn/fail verdict. Two comparison classes behave differently:
+//
+//   - structural checks (schema, table, phase/comm/metric presence) guard
+//     the artifact's shape and always fail hard — a missing phase means the
+//     instrumentation broke, not that the machine was slow;
+//   - numeric checks (per-step timings, sustained rate, allocations) are
+//     machine-dependent, so WarnOnly mode — what CI uses when comparing
+//     against a baseline committed from another machine — caps them at
+//     Warn. When the two reports' config fingerprints differ (different
+//     grid, ranks, threads), numeric comparisons are informational only:
+//     comparing a 32-cubed run against a 16-cubed run tells you nothing
+//     about regressions.
+//
+// Timings are normalized per step before comparison so baselines with
+// different step counts remain comparable.
+
+// Verdict is the outcome of one comparison, or of a whole diff (the max
+// over its lines).
+type Verdict int
+
+// Verdicts, ordered by severity.
+const (
+	Pass Verdict = iota
+	// Info marks a numeric comparison rendered non-judgmental by a config
+	// mismatch: shown, never counted.
+	Info
+	Warn
+	Fail
+)
+
+var verdictNames = [...]string{"pass", "info", "warn", "fail"}
+
+// String returns the lowercase verdict name.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "unknown"
+}
+
+// DiffOptions sets comparison thresholds. The zero value is usable:
+// defaults are applied by Diff.
+type DiffOptions struct {
+	// WarnRatio and FailRatio bound the candidate/baseline ratio of
+	// lower-is-better metrics (inverted for higher-is-better ones like
+	// sustained GFLOP/s). Defaults: 1.25 and 1.5 — an injected 2x
+	// regression fails, run-to-run jitter passes.
+	WarnRatio float64
+	FailRatio float64
+	// MinSeconds is the noise floor: per-step timings where both sides sit
+	// below it are too short to judge and report Pass with a note.
+	// Default 100us.
+	MinSeconds float64
+	// WarnOnly caps numeric verdicts at Warn (structural failures still
+	// fail) — CI mode for cross-machine comparisons.
+	WarnOnly bool
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.WarnRatio <= 0 {
+		o.WarnRatio = 1.25
+	}
+	if o.FailRatio <= 0 {
+		o.FailRatio = 1.5
+	}
+	if o.MinSeconds <= 0 {
+		o.MinSeconds = 100e-6
+	}
+	return o
+}
+
+// DiffLine is one compared metric.
+type DiffLine struct {
+	Metric  string  // stable snake_case name, e.g. "phase.transpose.mean_rank_seconds_per_step"
+	Base    float64 // baseline value (per-step where applicable)
+	Cand    float64 // candidate value
+	Ratio   float64 // cand/base for lower-is-better, base/cand for higher-is-better; 0 when undefined
+	Verdict Verdict
+	Note    string // human context: "structural", "below noise floor", ...
+}
+
+// DiffResult is the full comparison.
+type DiffResult struct {
+	Verdict     Verdict
+	ConfigMatch bool // fingerprints equal; false downgrades numeric lines to Info
+	Lines       []DiffLine
+}
+
+// add records a line and folds its verdict into the total.
+func (d *DiffResult) add(l DiffLine) {
+	d.Lines = append(d.Lines, l)
+	if l.Verdict > d.Verdict {
+		d.Verdict = l.Verdict
+	}
+}
+
+// perStep normalizes a run-total quantity by the report's step count
+// (reports without steps — table5/table6 style — pass through untouched).
+func perStep(total float64, steps int64) float64 {
+	if steps > 1 {
+		return total / float64(steps)
+	}
+	return total
+}
+
+// Diff compares candidate against baseline under the given options.
+func Diff(base, cand *Report, opt DiffOptions) *DiffResult {
+	opt = opt.withDefaults()
+	d := &DiffResult{ConfigMatch: configEqual(base.Config, cand.Config)}
+
+	// Structural gate: shape mismatches always fail.
+	structural := func(metric string, ok bool, note string) {
+		v := Pass
+		if !ok {
+			v = Fail
+		}
+		d.add(DiffLine{Metric: metric, Verdict: v, Note: note})
+	}
+	structural("schema", base.Schema == cand.Schema,
+		fmt.Sprintf("base %q cand %q", base.Schema, cand.Schema))
+	structural("table", base.Table == cand.Table,
+		fmt.Sprintf("base %q cand %q", base.Table, cand.Table))
+
+	candPhases := map[string]PhaseStats{}
+	for _, p := range cand.Phases {
+		candPhases[p.Phase] = p
+	}
+	for _, p := range base.Phases {
+		cp, ok := candPhases[p.Phase]
+		structural("phase."+p.Phase+".present", ok, "instrumented phase set")
+		if !ok {
+			continue
+		}
+		d.numeric(opt, "phase."+p.Phase+".mean_rank_seconds_per_step",
+			perStep(p.MeanRankSeconds, base.Steps), perStep(cp.MeanRankSeconds, cand.Steps), false)
+	}
+	candComm := map[string]CommStats{}
+	for _, c := range cand.Comm {
+		candComm[c.Op] = c
+	}
+	for _, c := range base.Comm {
+		_, ok := candComm[c.Op]
+		structural("comm."+c.Op+".present", ok, "instrumented comm channel")
+	}
+	candMetrics := map[string]bool{}
+	for k := range cand.Metrics {
+		candMetrics[k] = true
+	}
+	baseMetricNames := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		baseMetricNames = append(baseMetricNames, k)
+	}
+	sort.Strings(baseMetricNames)
+	for _, k := range baseMetricNames {
+		structural("metrics."+k+".present", candMetrics[k], "metric presence")
+	}
+
+	// Numeric gate: machine-dependent quantities, normalized per step.
+	d.numeric(opt, "wall_seconds_per_step",
+		perStep(base.WallSeconds, base.Steps), perStep(cand.WallSeconds, cand.Steps), false)
+	d.numeric(opt, "phase_seconds_sum_per_step",
+		perStep(base.PhaseSecondsSum, base.Steps), perStep(cand.PhaseSecondsSum, cand.Steps), false)
+	if base.GFlopsSustained > 0 && cand.GFlopsSustained > 0 {
+		d.numeric(opt, "gflops_sustained", base.GFlopsSustained, cand.GFlopsSustained, true)
+	}
+	if base.AllocsPerStep > 0 || cand.AllocsPerStep > 0 {
+		d.numeric(opt, "allocs_per_step", base.AllocsPerStep, cand.AllocsPerStep, false)
+	}
+	return d
+}
+
+// numeric compares one machine-dependent quantity. higherBetter inverts
+// the ratio (a drop in GFLOP/s is the regression).
+func (d *DiffResult) numeric(opt DiffOptions, metric string, base, cand float64, higherBetter bool) {
+	l := DiffLine{Metric: metric, Base: base, Cand: cand}
+	switch {
+	case base <= 0 && cand <= 0:
+		l.Note = "both zero"
+	case base <= 0:
+		l.Verdict = Warn
+		l.Note = "no baseline value"
+	default:
+		if higherBetter {
+			l.Ratio = base / cand
+		} else {
+			l.Ratio = cand / base
+		}
+		switch {
+		case !d.ConfigMatch:
+			l.Verdict = Info
+			l.Note = "config differs; informational"
+		case !higherBetter && base < opt.MinSeconds && cand < opt.MinSeconds:
+			l.Note = "below noise floor"
+		case l.Ratio >= opt.FailRatio:
+			l.Verdict = Fail
+			l.Note = fmt.Sprintf("regression ≥ %.2fx", opt.FailRatio)
+		case l.Ratio >= opt.WarnRatio:
+			l.Verdict = Warn
+			l.Note = fmt.Sprintf("regression ≥ %.2fx", opt.WarnRatio)
+		}
+	}
+	if opt.WarnOnly && l.Verdict == Fail {
+		l.Verdict = Warn
+		l.Note += " (warn-only mode)"
+	}
+	d.add(l)
+}
+
+// configEqual reports whether two config fingerprints are identical.
+func configEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the diff as the fixed-width table cmd/bench-diff prints.
+func (d *DiffResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-5s  %-48s  %12s  %12s  %7s  %s\n",
+		"", "metric", "base", "cand", "ratio", "note")
+	for _, l := range d.Lines {
+		ratio := ""
+		if l.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", l.Ratio)
+		}
+		val := func(v float64) string {
+			if v == 0 {
+				return ""
+			}
+			return fmt.Sprintf("%.6g", v)
+		}
+		fmt.Fprintf(w, "%-5s  %-48s  %12s  %12s  %7s  %s\n",
+			l.Verdict.String(), l.Metric, val(l.Base), val(l.Cand), ratio, l.Note)
+	}
+	fmt.Fprintf(w, "verdict: %s\n", d.Verdict)
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureReport builds a small valid report with one phase, one comm
+// channel and one metric, scaled by the given factor on every timing.
+func fixtureReport(scale float64) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Table:     "table9",
+		GitRev:    "unknown",
+		GoVersion: "go",
+		Config:    map[string]string{"nx": "32", "steps": "3"},
+		Ranks:     1,
+		// Comfortably above the 100us noise floor so ratios are judged.
+		WallSeconds:     0.030 * scale,
+		PhaseSecondsSum: 0.029 * scale,
+		Steps:           3,
+		Phases: []PhaseStats{{
+			Phase: "transpose", Calls: 36,
+			TotalSeconds:   0.010 * scale,
+			MinRankSeconds: 0.010 * scale, MeanRankSeconds: 0.010 * scale, MaxRankSeconds: 0.010 * scale,
+			Imbalance: 1, P50Seconds: 0.001 * scale, P99Seconds: 0.002 * scale,
+		}},
+		Comm:            []CommStats{{Op: "YtoZ", Calls: 12, Messages: 12, Bytes: 1 << 20}},
+		Flops:           1e9,
+		GFlopsSustained: 1.0 / scale,
+		AllocsPerStep:   21,
+		Metrics:         map[string]float64{"speedup": 1},
+	}
+}
+
+func TestDiffIdenticalPasses(t *testing.T) {
+	base := fixtureReport(1)
+	res := Diff(base, fixtureReport(1), DiffOptions{})
+	if res.Verdict != Pass {
+		var sb strings.Builder
+		res.Write(&sb)
+		t.Fatalf("identical reports: verdict %v\n%s", res.Verdict, sb.String())
+	}
+	if !res.ConfigMatch {
+		t.Error("identical configs reported as mismatched")
+	}
+}
+
+// TestDiffDetectsInjectedRegression: the ISSUE's acceptance fixture — a
+// 2x slowdown must produce a fail verdict at default thresholds.
+func TestDiffDetectsInjectedRegression(t *testing.T) {
+	res := Diff(fixtureReport(1), fixtureReport(2), DiffOptions{})
+	if res.Verdict != Fail {
+		var sb strings.Builder
+		res.Write(&sb)
+		t.Fatalf("2x regression: verdict %v, want fail\n%s", res.Verdict, sb.String())
+	}
+	// The failing lines must include the step wall clock.
+	found := false
+	for _, l := range res.Lines {
+		if l.Metric == "wall_seconds_per_step" && l.Verdict == Fail {
+			found = true
+			if l.Ratio < 1.9 || l.Ratio > 2.1 {
+				t.Errorf("wall ratio %g, want ~2", l.Ratio)
+			}
+		}
+	}
+	if !found {
+		t.Error("wall_seconds_per_step did not fail")
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	// 2x faster is not a regression.
+	if res := Diff(fixtureReport(2), fixtureReport(1), DiffOptions{}); res.Verdict != Pass {
+		t.Errorf("2x speedup: verdict %v, want pass", res.Verdict)
+	}
+}
+
+func TestDiffGFlopsDirection(t *testing.T) {
+	// Same timings, halved sustained rate: only gflops regresses; its
+	// ratio is inverted (base/cand).
+	cand := fixtureReport(1)
+	cand.GFlopsSustained /= 2
+	res := Diff(fixtureReport(1), cand, DiffOptions{})
+	if res.Verdict != Fail {
+		t.Fatalf("halved GFLOP/s: verdict %v, want fail", res.Verdict)
+	}
+	for _, l := range res.Lines {
+		if l.Metric == "gflops_sustained" && l.Verdict != Fail {
+			t.Errorf("gflops line %+v", l)
+		}
+	}
+}
+
+// TestDiffWarnOnlyCapsNumeric: CI mode — a timing fail becomes warn, but
+// structural mismatches still fail.
+func TestDiffWarnOnlyCapsNumeric(t *testing.T) {
+	res := Diff(fixtureReport(1), fixtureReport(2), DiffOptions{WarnOnly: true})
+	if res.Verdict != Warn {
+		t.Fatalf("2x regression in warn-only: verdict %v, want warn", res.Verdict)
+	}
+
+	// Structural: drop the transpose phase from the candidate.
+	cand := fixtureReport(1)
+	cand.Phases = nil
+	res = Diff(fixtureReport(1), cand, DiffOptions{WarnOnly: true})
+	if res.Verdict != Fail {
+		t.Fatalf("missing phase in warn-only: verdict %v, want fail", res.Verdict)
+	}
+}
+
+func TestDiffStructuralMismatches(t *testing.T) {
+	mutate := map[string]func(r *Report){
+		"schema":  func(r *Report) { r.Schema = "other/v0" },
+		"table":   func(r *Report) { r.Table = "table5" },
+		"comm op": func(r *Report) { r.Comm = nil },
+		"metric":  func(r *Report) { r.Metrics = nil },
+	}
+	for name, f := range mutate {
+		cand := fixtureReport(1)
+		f(cand)
+		if res := Diff(fixtureReport(1), cand, DiffOptions{WarnOnly: true}); res.Verdict != Fail {
+			t.Errorf("%s mismatch: verdict %v, want fail", name, res.Verdict)
+		}
+	}
+}
+
+// TestDiffConfigMismatchInformational: different grids make timing ratios
+// meaningless — numeric lines downgrade to Info and cannot fail the diff.
+func TestDiffConfigMismatchInformational(t *testing.T) {
+	cand := fixtureReport(2) // 2x slower AND a different config
+	cand.Config["nx"] = "16"
+	res := Diff(fixtureReport(1), cand, DiffOptions{})
+	if res.ConfigMatch {
+		t.Fatal("config mismatch not detected")
+	}
+	if res.Verdict > Info {
+		var sb strings.Builder
+		res.Write(&sb)
+		t.Fatalf("config-mismatched diff judged numerically: %v\n%s", res.Verdict, sb.String())
+	}
+	seen := false
+	for _, l := range res.Lines {
+		if l.Metric == "wall_seconds_per_step" {
+			seen = true
+			if l.Verdict != Info {
+				t.Errorf("wall line verdict %v, want info", l.Verdict)
+			}
+		}
+	}
+	if !seen {
+		t.Error("wall_seconds_per_step missing")
+	}
+}
+
+func TestDiffNoiseFloor(t *testing.T) {
+	// Both sides far below the noise floor: even a 3x ratio passes.
+	base := fixtureReport(1)
+	cand := fixtureReport(3)
+	base.WallSeconds, cand.WallSeconds = 3e-6, 9e-6
+	base.PhaseSecondsSum, cand.PhaseSecondsSum = 3e-6, 9e-6
+	base.Phases[0].MeanRankSeconds, cand.Phases[0].MeanRankSeconds = 1e-6, 3e-6
+	base.GFlopsSustained, cand.GFlopsSustained = 0, 0
+	base.AllocsPerStep, cand.AllocsPerStep = 0, 0
+	if res := Diff(base, cand, DiffOptions{}); res.Verdict != Pass {
+		var sb strings.Builder
+		res.Write(&sb)
+		t.Errorf("sub-noise timings: verdict %v, want pass\n%s", res.Verdict, sb.String())
+	}
+}
+
+func TestDiffStepNormalization(t *testing.T) {
+	// Same per-step cost at different step counts must pass.
+	base := fixtureReport(1)
+	cand := fixtureReport(1)
+	cand.Steps = 6
+	cand.WallSeconds *= 2
+	cand.PhaseSecondsSum *= 2
+	cand.Phases[0].MeanRankSeconds *= 2
+	if res := Diff(base, cand, DiffOptions{}); res.Verdict != Pass {
+		var sb strings.Builder
+		res.Write(&sb)
+		t.Errorf("step-normalized diff: verdict %v, want pass\n%s", res.Verdict, sb.String())
+	}
+}

@@ -64,6 +64,46 @@ type Report struct {
 	// Metrics carries table-specific scalars (speedups, ratios, model
 	// values) keyed by stable snake_case names.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Trace carries the critical-path digest of a traced run (absent when
+	// tracing was off). Populated by trace.Summarize.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary is the critical-path digest of a flight-recorder trace:
+// per step, which rank's phase work gated completion, and how much slack
+// the other ranks had. It lives in the telemetry package (not
+// internal/trace) so Report stays free of a trace dependency while trace
+// depends on telemetry for the phase vocabulary.
+type TraceSummary struct {
+	// Events and Dropped count recorded and ring-wrap-overwritten events
+	// across all ranks.
+	Events  int64 `json:"events"`
+	Dropped int64 `json:"dropped,omitempty"`
+	// Steps holds one straggler record per step observed in the trace,
+	// ascending by step.
+	Steps []StragglerStep `json:"steps"`
+	// RankSlackSeconds is each rank's total slack over the traced steps:
+	// the busy time of the gating rank minus this rank's, summed. The
+	// gating ranks' contributions are zero by construction; large values
+	// mark ranks that habitually wait (the paper's transpose-imbalance
+	// signature).
+	RankSlackSeconds []float64 `json:"rank_slack_seconds,omitempty"`
+}
+
+// StragglerStep names the critical path of one step: the rank whose phase
+// work finished last and the phase that set it apart from the pack.
+type StragglerStep struct {
+	Step int64 `json:"step"`
+	// GatingRank is the rank with the most phase-busy time in this step.
+	GatingRank int `json:"gating_rank"`
+	// GatingPhase is the phase on which the gating rank lost the most time
+	// relative to the cross-rank mean.
+	GatingPhase string `json:"gating_phase"`
+	// GatingSeconds is the gating rank's busy time in the step.
+	GatingSeconds float64 `json:"gating_seconds"`
+	// MaxSlackSeconds is the largest per-rank slack in the step (gating
+	// busy minus the least-busy rank's) — 0 for a perfectly balanced step.
+	MaxSlackSeconds float64 `json:"max_slack_seconds"`
 }
 
 // NewReport assembles a report from a registry snapshot plus the ambient
@@ -171,6 +211,36 @@ func (r *Report) Validate() error {
 		}
 		if v != v { // NaN poisons downstream JSON tooling
 			return fmt.Errorf("metric %q is NaN", k)
+		}
+	}
+	if t := r.Trace; t != nil {
+		if t.Events < 0 || t.Dropped < 0 {
+			return fmt.Errorf("trace: negative event counts (events=%d dropped=%d)", t.Events, t.Dropped)
+		}
+		var prev int64 = -1 << 62
+		for _, s := range t.Steps {
+			if s.Step <= prev {
+				return fmt.Errorf("trace: steps not ascending at step %d", s.Step)
+			}
+			prev = s.Step
+			if s.GatingRank < 0 {
+				return fmt.Errorf("trace: step %d: negative gating rank", s.Step)
+			}
+			if _, ok := PhaseFromString(s.GatingPhase); !ok {
+				return fmt.Errorf("trace: step %d: unknown gating phase %q", s.Step, s.GatingPhase)
+			}
+			if s.GatingSeconds < 0 || s.MaxSlackSeconds < 0 {
+				return fmt.Errorf("trace: step %d: negative seconds", s.Step)
+			}
+			if s.MaxSlackSeconds > s.GatingSeconds {
+				return fmt.Errorf("trace: step %d: slack %g exceeds gating busy %g",
+					s.Step, s.MaxSlackSeconds, s.GatingSeconds)
+			}
+		}
+		for i, v := range t.RankSlackSeconds {
+			if v < 0 || v != v {
+				return fmt.Errorf("trace: rank %d: bad slack %g", i, v)
+			}
 		}
 	}
 	return nil

@@ -18,15 +18,34 @@ import (
 //
 // The handler never blocks the simulation: snapshots read atomic counters.
 
-var publishOnce sync.Once
+// The expvar name "channeldns.telemetry" can be published only once per
+// process (expvar.Publish panics on reuse), but successive runs in one
+// process each bring their own Registry. The published closure therefore
+// reads a process-global current-registry pointer that every Handler call
+// updates, so /debug/vars always reflects the most recent run instead of
+// latching onto the first (the pre-fix behavior).
+var (
+	publishOnce sync.Once
+	publishMu   sync.Mutex
+	publishReg  *Registry
+)
 
 // Handler returns the observability mux for a registry. report builds the
 // current Report on demand (typically a closure over the run's table name
 // and config fingerprint).
 func Handler(reg *Registry, report func() *Report) http.Handler {
+	publishMu.Lock()
+	publishReg = reg
+	publishMu.Unlock()
 	publishOnce.Do(func() {
 		expvar.Publish("channeldns.telemetry", expvar.Func(func() any {
-			return reg.Snapshot()
+			publishMu.Lock()
+			r := publishReg
+			publishMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
 		}))
 	})
 	mux := http.NewServeMux()
@@ -54,6 +73,17 @@ func Serve(addr string, reg *Registry, report func() *Report) (string, error) {
 		return "", err
 	}
 	h := Handler(reg, report)
+	go func() { _ = http.Serve(ln, h) }()
+	return ln.Addr().String(), nil
+}
+
+// ServeHandler is Serve for a caller-assembled handler — cmd/dns uses it
+// to mount /trace next to the telemetry mux.
+func ServeHandler(addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
 	go func() { _ = http.Serve(ln, h) }()
 	return ln.Addr().String(), nil
 }

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// get fetches a URL and returns the body, failing the test on any error.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// sampleRegistry returns a registry with one rank carrying a little
+// activity, so snapshots and reports are non-degenerate.
+func sampleRegistry(stepNs int64) *Registry {
+	reg := NewRegistry()
+	c := reg.Rank(0)
+	sp := c.Begin(PhaseNonlinear)
+	sp.End()
+	c.AddComm(CommYtoZ, 1024, 3)
+	c.StepDone(time.Duration(stepNs))
+	return reg
+}
+
+func handlerFor(reg *Registry) (h *httptest.Server, close func()) {
+	srv := httptest.NewServer(Handler(reg, func() *Report {
+		return NewReport("dns", reg, map[string]string{"test": "1"})
+	}))
+	return srv, srv.Close
+}
+
+// TestTelemetryEndpointCanonical: /telemetry must return canonical JSON
+// that parses and validates as a channeldns/bench/v1 report.
+func TestTelemetryEndpointCanonical(t *testing.T) {
+	srv, done := handlerFor(sampleRegistry(1e6))
+	defer done()
+	rr := get(t, srv.URL+"/telemetry")
+	rep, err := ValidateJSON(rr)
+	if err != nil {
+		t.Fatalf("/telemetry body invalid: %v", err)
+	}
+	if rep.Table != "dns" || rep.Ranks != 1 {
+		t.Errorf("report %+v", rep)
+	}
+}
+
+// TestDebugVarsIncludesTelemetry: /debug/vars carries the published
+// channeldns.telemetry snapshot.
+func TestDebugVarsIncludesTelemetry(t *testing.T) {
+	srv, done := handlerFor(sampleRegistry(1e6))
+	defer done()
+	raw := get(t, srv.URL+"/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	snap, ok := vars["channeldns.telemetry"]
+	if !ok {
+		t.Fatal("/debug/vars missing channeldns.telemetry")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(snap, &s); err != nil {
+		t.Fatalf("published snapshot not a Snapshot: %v", err)
+	}
+	if s.Ranks != 1 {
+		t.Errorf("published snapshot %+v", s)
+	}
+}
+
+// TestPublishTracksCurrentRegistry is the regression test for the
+// publishOnce latch: before the fix, the expvar closure captured the first
+// Handler call's registry forever, so a second run in the same process
+// published stale snapshots. The published var must follow the most recent
+// Handler call.
+func TestPublishTracksCurrentRegistry(t *testing.T) {
+	first := sampleRegistry(1e6)
+	srv1, done1 := handlerFor(first)
+	done1()
+	_ = srv1
+
+	second := NewRegistry()
+	second.Rank(0)
+	second.Rank(1)
+	second.Rank(2) // distinguishable: 3 ranks vs 1
+	srv2, done2 := handlerFor(second)
+	defer done2()
+
+	raw := get(t, srv2.URL+"/debug/vars")
+	var vars struct {
+		Snap Snapshot `json:"channeldns.telemetry"`
+	}
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Snap.Ranks != 3 {
+		t.Errorf("published snapshot has %d ranks, want 3 (the current registry) — stale latch", vars.Snap.Ranks)
+	}
+}
+
+// TestHandlerNeverBlocksRecording: the endpoint must serve while steps are
+// advancing — snapshots read atomic counters and never take locks held
+// across recording.
+func TestHandlerNeverBlocksRecording(t *testing.T) {
+	reg := sampleRegistry(1e6)
+	srv, done := handlerFor(reg)
+	defer done()
+	c := reg.Rank(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := c.Begin(PhaseTransposeAB)
+			sp.End()
+			c.StepDone(time.Microsecond)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 20; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("handler requests did not complete while a step was advancing")
+		}
+		if _, err := ValidateJSON(get(t, srv.URL+"/telemetry")); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServeHandler(t *testing.T) {
+	reg := sampleRegistry(1e6)
+	addr, err := ServeHandler("127.0.0.1:0", Handler(reg, func() *Report {
+		return NewReport("dns", reg, nil)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("bound address %q", addr)
+	}
+	if _, err := ValidateJSON(get(t, "http://"+addr+"/telemetry")); err != nil {
+		t.Errorf("ServeHandler endpoint: %v", err)
+	}
+}

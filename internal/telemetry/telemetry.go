@@ -111,6 +111,20 @@ func (op CommOp) String() string {
 	return "unknown"
 }
 
+// Tracer receives every completed phase span when attached to a Collector
+// with SetTracer. It is the one-way bridge to the event layer
+// (internal/trace implements it): telemetry keeps aggregates, the tracer
+// keeps the timeline, and instrumentation sites stay unchanged.
+// Implementations must be safe for concurrent use and must not block.
+type Tracer interface {
+	TraceSpan(p Phase, start, end time.Time)
+}
+
+// tracerBox wraps the interface value so the Collector can swap it with a
+// single atomic pointer operation (an atomic.Pointer needs a concrete
+// pointee type).
+type tracerBox struct{ t Tracer }
+
 // phaseRec is the per-phase accumulator inside a Collector.
 type phaseRec struct {
 	ns     atomic.Int64 // total time inside the phase
@@ -143,6 +157,10 @@ type Collector struct {
 	// allocTrack enables the serial-only per-phase allocation probe; see
 	// SetAllocTracking.
 	allocTrack atomic.Bool
+
+	// tracer, when attached, receives every completed span; nil pointer =
+	// tracing off, one atomic load per Span.End either way.
+	tracer atomic.Pointer[tracerBox]
 }
 
 // NewCollector returns a collector labeled with an MPI rank. Collectors
@@ -199,6 +217,23 @@ func (sp Span) End() {
 		runtime.ReadMemStats(&ms)
 		rec.allocs.Add(int64(ms.Mallocs - sp.m0))
 	}
+	if box := c.tracer.Load(); box != nil {
+		box.t.TraceSpan(sp.phase, sp.t0, sp.t0.Add(d))
+	}
+}
+
+// SetTracer attaches (or, with nil, detaches) the event-layer sink that
+// receives every completed span. Safe to call while spans are open;
+// in-flight spans observe either the old or the new tracer.
+func (c *Collector) SetTracer(t Tracer) {
+	if c == nil {
+		return
+	}
+	if t == nil {
+		c.tracer.Store(nil)
+		return
+	}
+	c.tracer.Store(&tracerBox{t: t})
 }
 
 // AddComm credits one communication operation moving the given payload

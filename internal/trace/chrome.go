@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+)
+
+// Chrome trace-event export: the flight recorder serialized to the JSON
+// Object Format consumed by chrome://tracing and Perfetto. Every rank is
+// one named track (pid 0, tid = rank); phase spans, exchange windows,
+// peer exchanges and whole steps are complete ("X") events that nest by
+// containment, so a transpose span visually contains its wire interval,
+// which contains the per-peer waits. ts/dur are microseconds from the
+// Trace epoch, the format's native unit.
+
+// chromeEvent is one trace-event object. Field order is fixed by the
+// struct and args keys are sorted by encoding/json, so the same snapshot
+// always encodes to the same bytes.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  *float64         `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeFile is the containing JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// micros converts a nanosecond duration to the format's microsecond unit.
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// chromeEvents flattens a snapshot into trace-event objects: one
+// thread_name metadata record per rank followed by that rank's events in
+// start order.
+func chromeEvents(perRank [][]Event) []chromeEvent {
+	var out []chromeEvent
+	for rank, evs := range perRank {
+		if evs == nil {
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Args: map[string]int64{"rank": int64(rank)},
+		})
+		for _, ev := range evs {
+			ce := chromeEvent{
+				Ph:  "X",
+				Ts:  micros(int64(ev.Start)),
+				Pid: 0,
+				Tid: rank,
+				Cat: ev.Kind.String(),
+			}
+			dur := micros(int64(ev.Dur))
+			ce.Dur = &dur
+			args := map[string]int64{"step": ev.Step}
+			if ev.Stage >= 0 {
+				args["stage"] = int64(ev.Stage)
+			}
+			switch ev.Kind {
+			case KindPhase:
+				ce.Name = ev.Phase.String()
+			case KindExchange:
+				ce.Name = "exchange " + ev.Op.String()
+				args["bytes"] = ev.Bytes
+			case KindPeer:
+				ce.Name = "peer wait"
+				args["peer"] = int64(ev.Peer)
+				args["bytes"] = ev.Bytes
+			case KindStep:
+				ce.Name = "step"
+			default:
+				ce.Name = "unknown"
+			}
+			ce.Args = args
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+// WriteChrome writes the current snapshot as Chrome trace-event JSON —
+// open the result in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	f := chromeFile{
+		TraceEvents:     chromeEvents(t.Events()),
+		DisplayTimeUnit: "ms",
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []chromeEvent{}
+	}
+	b, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteChromeFile writes the Chrome trace to path, creating parent
+// directories as needed.
+func (t *Trace) WriteChromeFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Handler returns an http.Handler serving the live Chrome trace — the
+// /trace endpoint next to /telemetry in cmd/dns. Snapshots are taken per
+// request and never block recording.
+func Handler(t *Trace) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ValidateChrome checks a serialized Chrome trace the way the bench-smoke
+// CI target needs: it parses, carries at least one non-metadata event,
+// durations are non-negative, and timestamps are monotone non-decreasing
+// within each (pid, tid) track in file order. Returns the number of
+// non-metadata events.
+func ValidateChrome(raw []byte) (int, error) {
+	var f chromeFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return 0, fmt.Errorf("trace: parse: %w", err)
+	}
+	type track struct{ pid, tid int }
+	last := map[track]float64{}
+	events := 0
+	for i, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ph != "X" {
+			return 0, fmt.Errorf("trace: event %d: unsupported phase type %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d: empty name", i)
+		}
+		if ev.Dur != nil && *ev.Dur < 0 {
+			return 0, fmt.Errorf("trace: event %d (%s): negative duration %g", i, ev.Name, *ev.Dur)
+		}
+		tr := track{ev.Pid, ev.Tid}
+		if prev, ok := last[tr]; ok && ev.Ts < prev {
+			return 0, fmt.Errorf("trace: event %d (%s): timestamp %g precedes %g on track %d/%d",
+				i, ev.Name, ev.Ts, prev, ev.Pid, ev.Tid)
+		}
+		last[tr] = ev.Ts
+		events++
+	}
+	if events == 0 {
+		return 0, fmt.Errorf("trace: no events")
+	}
+	return events, nil
+}
