@@ -30,8 +30,10 @@ bench-alloc:
 	$(GO) test -run xxx -bench 'Table5|Table6|Table9' -benchmem -benchtime 200ms .
 
 # Tiny end-to-end run of every bench tool, validating the emitted
-# BENCH_*.json artifacts against the channeldns/bench/v1 schema. Keeps the
-# telemetry report path from bit-rotting without burning CI minutes.
+# BENCH_*.json artifacts against the channeldns/bench/v1 schema (including
+# each report's declarative schedule block, cross-checked against its own
+# comm table). Keeps the telemetry report path from bit-rotting without
+# burning CI minutes.
 bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	$(GO) run ./cmd/bench-solver -n 128 -reps 1 -json .bench-smoke/BENCH_table1.json > /dev/null
@@ -40,15 +42,21 @@ bench-smoke:
 	$(GO) run ./cmd/bench-fft -json .bench-smoke/BENCH_table6.json > /dev/null
 	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9.json -trace .bench-smoke/table9.trace.json > /dev/null
 	$(GO) run ./cmd/dns -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -trace .bench-smoke/dns.trace.json -report .bench-smoke/BENCH_dns.json > /dev/null
+	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -schedule > /dev/null
+	$(GO) run ./cmd/bench-comm -schedule > /dev/null
+	$(GO) run ./cmd/bench-fft -schedule > /dev/null
 	$(GO) run ./cmd/bench-validate .bench-smoke/BENCH_*.json
 	$(GO) run ./cmd/bench-validate -trace .bench-smoke/*.trace.json
 
 # Perf-regression gate: compare the fresh bench-smoke timestep report
 # against the committed baseline. Warn-only because the baseline's timings
 # come from another machine (and another grid size); structural mismatches
-# (schema, missing phases/comm channels) still fail.
+# (schema, missing phases/comm channels, a dropped schedule block) still
+# fail. The -model pass compares measured phase seconds against the machine
+# model of the schedule block — advisory only, never gates.
 bench-diff: bench-smoke
 	$(GO) run ./cmd/bench-diff -warn-only BENCH_table9.json .bench-smoke/BENCH_table9.json
+	$(GO) run ./cmd/bench-diff -model .bench-smoke/BENCH_table9.json
 
 clean:
 	rm -rf .bench-smoke

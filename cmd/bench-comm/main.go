@@ -21,17 +21,23 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/pencil"
 	"channeldns/internal/perf"
+	"channeldns/internal/schedule"
 	"channeldns/internal/telemetry"
 )
 
 func main() {
 	pattern := flag.Bool("pattern", false, "print the Figure 4 communicator pattern (128 ranks)")
+	showSched := flag.Bool("schedule", false, "print the declarative op schedule of the live transpose cycle (balanced 4x4 split)")
 	live := flag.Bool("live", false, "also run live in-process transpose cycles")
 	jsonPath := flag.String("json", "", "write a telemetry report of the live sweep to this file (implies -live)")
 	flag.Parse()
 
 	if *pattern {
 		printPattern()
+		return
+	}
+	if *showSched {
+		printSchedule()
 		return
 	}
 
@@ -74,6 +80,7 @@ func main() {
 			// splits' cycle times ride along as metrics.
 			rep.WallSeconds = balanced.elapsed.Seconds()
 			rep.Metrics = metrics
+			rep.Schedule = balanced.sched
 			if err := rep.WriteFile(*jsonPath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -89,6 +96,7 @@ type liveResult struct {
 	bytesPerDir int64  // rank-0 bytes moved per direction (all four agree)
 	allocs      uint64 // process-wide heap objects during the timed loop
 	reg         *telemetry.Registry
+	sched       *schedule.Schedule // the cycle as this split executed it
 }
 
 func liveCycle(pa, pb int) *liveResult {
@@ -128,9 +136,21 @@ func liveCycle(pa, pb int) *liveResult {
 			res.allocs = perf.ReadAllocs().Sub(before).Mallocs
 			_, _, bytes := d.Telemetry.CommCounts(telemetry.CommYtoZ)
 			res.bytesPerDir = bytes
+			res.sched = d.CycleSchedule(3)
 		}
 	})
 	return res
+}
+
+// printSchedule builds the balanced live decomposition and prints its cycle
+// schedule — the program the -live sweep times and -json reports carry.
+func printSchedule() {
+	mpi.Run(16, func(c *mpi.Comm) {
+		d := pencil.New(c, 4, 4, 32, 32, 32, par.NewPool(1))
+		if c.Rank() == 0 {
+			d.CycleSchedule(3).Write(os.Stdout)
+		}
+	})
 }
 
 // printPattern reproduces Figure 4: for a 128-task 8x16 cartesian grid, the

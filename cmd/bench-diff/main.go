@@ -2,6 +2,7 @@
 // and emits a pass/warn/fail verdict — the repo's perf-regression gate.
 //
 //	bench-diff [-warn-ratio 1.25] [-fail-ratio 1.5] [-warn-only] baseline.json candidate.json
+//	bench-diff -model [-machine Mira] [-model-tol 3] report.json
 //
 // Structural mismatches (schema, table, missing phases/comm channels/
 // metrics) always fail. Numeric comparisons (per-step timings, sustained
@@ -11,29 +12,49 @@
 // machine. When the two reports' config fingerprints differ, numeric
 // comparisons are informational only. Exit status: 0 pass/warn, 1 fail,
 // 2 usage or unreadable/invalid artifact.
+//
+// -model takes ONE report and compares its measured per-phase seconds
+// against the machine model's prediction for the report's schedule block,
+// normalized by the overall measured/modeled ratio (the model is calibrated
+// to the paper's platforms, not this machine, so only the shape of the
+// breakdown is judged). Drifting phases are reported as warnings; the mode
+// never fails the gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
+	"channeldns/internal/machine"
 	"channeldns/internal/telemetry"
 )
 
 func main() {
 	var (
-		warnRatio = flag.Float64("warn-ratio", 0, "candidate/baseline ratio that warns (0 = default 1.25)")
-		failRatio = flag.Float64("fail-ratio", 0, "candidate/baseline ratio that fails (0 = default 1.5)")
-		minSecs   = flag.Float64("min-seconds", 0, "noise floor: per-step timings below this on both sides pass (0 = default 100us)")
-		warnOnly  = flag.Bool("warn-only", false, "cap numeric regressions at warn (structural mismatches still fail)")
-		quiet     = flag.Bool("q", false, "print only the verdict line")
+		warnRatio   = flag.Float64("warn-ratio", 0, "candidate/baseline ratio that warns (0 = default 1.25)")
+		failRatio   = flag.Float64("fail-ratio", 0, "candidate/baseline ratio that fails (0 = default 1.5)")
+		minSecs     = flag.Float64("min-seconds", 0, "noise floor: per-step timings below this on both sides pass (0 = default 100us)")
+		warnOnly    = flag.Bool("warn-only", false, "cap numeric regressions at warn (structural mismatches still fail)")
+		quiet       = flag.Bool("q", false, "print only the verdict line")
+		model       = flag.Bool("model", false, "compare ONE report's measured phases against the machine model of its schedule block")
+		machineName = flag.String("machine", "Mira", "platform for -model (Mira, Lonestar, Stampede, BlueWaters)")
+		modelTol    = flag.Float64("model-tol", 3, "-model: flag phases whose normalized measured/modeled ratio drifts beyond this factor")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bench-diff [flags] baseline.json candidate.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: bench-diff [flags] baseline.json candidate.json\n       bench-diff -model [-machine M] report.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *model {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(modelMode(flag.Arg(0), *machineName, *modelTol))
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -62,6 +83,42 @@ func main() {
 	if res.Verdict == telemetry.Fail {
 		os.Exit(1)
 	}
+}
+
+// modelMode runs the -model comparison and returns the process exit code:
+// 0 (drift is advisory — warnings, never gate failures) or 2 for an
+// unusable report (unreadable, invalid, or no schedule block).
+func modelMode(path, machineName string, tol float64) int {
+	rep, err := load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		return 2
+	}
+	m, ok := machine.ByName(machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench-diff: unknown machine %q\n", machineName)
+		return 2
+	}
+	execs := rep.Steps
+	if execs == 0 {
+		// Cycle reports (table5/table6) record no steps; the iteration count
+		// rides in the config fingerprint.
+		if n, err := strconv.ParseInt(rep.Config["iters"], 10, 64); err == nil {
+			execs = n
+		}
+	}
+	rows, err := machine.ModelDiff(m, rep, execs, tol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		return 2
+	}
+	flagged := machine.WriteModelDiff(os.Stdout, m, rows, max(1, execs))
+	if flagged > 0 {
+		fmt.Printf("verdict: warn (%d phase(s) drift beyond %.1fx of the overall ratio)\n", flagged, tol)
+	} else {
+		fmt.Println("verdict: pass")
+	}
+	return 0
 }
 
 func load(path string) (*telemetry.Report, error) {

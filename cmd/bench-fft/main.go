@@ -16,13 +16,20 @@ import (
 	"channeldns/internal/par"
 	"channeldns/internal/parfft"
 	"channeldns/internal/perf"
+	"channeldns/internal/schedule"
 	"channeldns/internal/telemetry"
 )
 
 func main() {
 	live := flag.Bool("live", false, "also run live in-process FFT cycles")
+	showSched := flag.Bool("schedule", false, "print the declarative op schedules of the live custom and baseline kernels")
 	jsonPath := flag.String("json", "", "write a telemetry report of the live custom-kernel cycles to this file (implies -live)")
 	flag.Parse()
+
+	if *showSched {
+		printSchedules()
+		return
+	}
 
 	tbl := perf.Table{
 		Title: "Table 6: parallel FFT strong scaling (elapsed seconds)",
@@ -49,14 +56,15 @@ func main() {
 		var lastReg *telemetry.Registry
 		var lastElapsed time.Duration
 		var lastRanks int
+		var lastSched *schedule.Schedule
 		for _, p := range [][2]int{{1, 1}, {2, 2}, {4, 2}} {
-			c, reg := liveCycle(p[0], p[1], true)
-			b, _ := liveCycle(p[0], p[1], false)
+			c, reg, sched := liveCycle(p[0], p[1], true)
+			b, _, _ := liveCycle(p[0], p[1], false)
 			lt.AddRowf(p[0]*p[1], c.String(), b.String(), b.Seconds()/c.Seconds())
 			ranks := p[0] * p[1]
 			metrics[fmt.Sprintf("custom_seconds_%dranks", ranks)] = c.Seconds()
 			metrics[fmt.Sprintf("baseline_seconds_%dranks", ranks)] = b.Seconds()
-			lastReg, lastElapsed, lastRanks = reg, c, ranks
+			lastReg, lastElapsed, lastRanks, lastSched = reg, c, ranks, sched
 		}
 		lt.Write(os.Stdout)
 
@@ -67,6 +75,7 @@ func main() {
 			})
 			rep.WallSeconds = lastElapsed.Seconds()
 			rep.Metrics = metrics
+			rep.Schedule = lastSched
 			if err := rep.WriteFile(*jsonPath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -79,8 +88,9 @@ func main() {
 // liveCycle times iters cycles of one kernel; the custom kernel records
 // through a telemetry registry (FFT stages plus transpose phases) that is
 // returned for report assembly.
-func liveCycle(pa, pb int, custom bool) (time.Duration, *telemetry.Registry) {
+func liveCycle(pa, pb int, custom bool) (time.Duration, *telemetry.Registry, *schedule.Schedule) {
 	var elapsed time.Duration
+	var sched *schedule.Schedule
 	reg := telemetry.NewRegistry()
 	mpi.Run(pa*pb, func(c *mpi.Comm) {
 		var k *parfft.Kernel
@@ -89,6 +99,9 @@ func liveCycle(pa, pb int, custom bool) (time.Duration, *telemetry.Registry) {
 			k.SetTelemetry(reg.Rank(c.Rank()))
 		} else {
 			k = parfft.NewBaseline(c, pa, pb, 64, 32, 64)
+		}
+		if c.Rank() == 0 {
+			sched = k.Schedule(3)
 		}
 		fields := make([][]complex128, 3)
 		for f := range fields {
@@ -104,5 +117,25 @@ func liveCycle(pa, pb int, custom bool) (time.Duration, *telemetry.Registry) {
 			elapsed = time.Since(t0)
 		}
 	})
-	return elapsed, reg
+	return elapsed, reg, sched
+}
+
+// printSchedules builds both kernels on the largest live split and prints
+// their cycle schedules — the programs the -live table times.
+func printSchedules() {
+	for _, custom := range []bool{true, false} {
+		custom := custom
+		mpi.Run(8, func(c *mpi.Comm) {
+			var k *parfft.Kernel
+			if custom {
+				k = parfft.NewCustom(c, 4, 2, 64, 32, 64, par.NewPool(1))
+			} else {
+				k = parfft.NewBaseline(c, 4, 2, 64, 32, 64)
+			}
+			if c.Rank() == 0 {
+				k.Schedule(3).Write(os.Stdout)
+				fmt.Println()
+			}
+		})
+	}
 }

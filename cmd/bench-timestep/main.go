@@ -27,6 +27,7 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "print Table 11 (MPI vs hybrid)")
 	configs := flag.Bool("configs", false, "print Tables 7/8 (benchmark grids)")
 	live := flag.Bool("live", false, "run live in-process timesteps")
+	showSched := flag.Bool("schedule", false, "print the declarative op schedule of one RK3 timestep on the -nx/-ny/-nz grid")
 	jsonPath := flag.String("json", "", "run serial instrumented RK3 steps and write the telemetry report here")
 	tracePath := flag.String("trace", "", "also record the -json run's flight recorder and write Chrome trace-event JSON here")
 	nx := flag.Int("nx", 32, "grid Nx for the -json run")
@@ -34,7 +35,12 @@ func main() {
 	nz := flag.Int("nz", 32, "grid Nz for the -json run")
 	steps := flag.Int("steps", 3, "timed steps for the -json run")
 	flag.Parse()
-	all := !*strong && !*weak && !*hybrid && !*configs && !*live && *jsonPath == ""
+	all := !*strong && !*weak && !*hybrid && !*configs && !*live && !*showSched && *jsonPath == ""
+
+	if *showSched {
+		cfg := core.Config{Nx: *nx, Ny: *ny, Nz: *nz, ReTau: 180, Dt: 1e-3}
+		cfg.Schedule().Write(os.Stdout)
+	}
 
 	if *configs || all {
 		printConfigs()
@@ -99,6 +105,7 @@ func runReport(path, tracePath string, nx, ny, nz, steps int) error {
 		"pa": "1", "pb": "1", "threads": "1", "form": "divergence",
 	})
 	rep.AllocsPerStep = allocsPerStep
+	rep.Schedule = cfg.Schedule()
 	if trc != nil {
 		rep.Trace = trace.Summarize(trc)
 	}

@@ -52,9 +52,21 @@ func main() {
 			failed++
 			continue
 		}
+		// Reports carrying a schedule block must agree with their own comm
+		// table: 2x bytes_per_rank per transpose call, CommSize-1 messages,
+		// and (for timestep runs) schedule-derived flop totals.
+		if err := r.CheckScheduleConsistency(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
 		if !*quiet {
-			fmt.Printf("%s: ok (table=%s ranks=%d phases=%d comm=%d metrics=%d)\n",
-				path, r.Table, r.Ranks, len(r.Phases), len(r.Comm), len(r.Metrics))
+			sched := 0
+			if r.Schedule != nil {
+				sched = len(r.Schedule.Ops)
+			}
+			fmt.Printf("%s: ok (table=%s ranks=%d phases=%d comm=%d metrics=%d schedule_ops=%d)\n",
+				path, r.Table, r.Ranks, len(r.Phases), len(r.Comm), len(r.Metrics), sched)
 		}
 	}
 	if failed > 0 {

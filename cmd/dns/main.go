@@ -74,6 +74,11 @@ func main() {
 		if trc != nil {
 			rep.Trace = trace.Summarize(trc)
 		}
+		if *form == "divergence" {
+			// The schedule describes the default divergence-form pipeline;
+			// the other forms move different forward-path traffic.
+			rep.Schedule = cfg.Schedule()
+		}
 		return rep
 	}
 	if *listen != "" {

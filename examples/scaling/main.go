@@ -12,6 +12,7 @@ import (
 
 	"channeldns/internal/machine"
 	"channeldns/internal/perf"
+	"channeldns/internal/schedule"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 
 	tbl := perf.Table{
 		Title:   "Projected cost per RK3 step (hybrid mode)",
-		Headers: []string{"cores", "transpose", "FFT", "N-S advance", "total", "core-hours/step"},
+		Headers: []string{"cores", schedule.PhaseTransposeAB.String(), "FFT", "N-S advance", "total", "core-hours/step"},
 	}
 	for _, cores := range []int{131072, 262144, 524288, 786432} {
 		b := machine.TimestepTime(m, machine.ModeHybrid, nx, ny, nz, cores)

@@ -1,0 +1,21 @@
+package core
+
+import "channeldns/internal/schedule"
+
+// Schedule returns the declarative op list of one RK3 timestep as this
+// solver executes it: three substeps of the §2.3 transpose/FFT pipeline
+// with the six independent quadratic products (uu, uv, uw, vv, vw, ww) of
+// the divergence form carried through the forward path, Nyquist-dropped
+// one-sided x modes, and 4-pass pack/unpack around every transpose. The
+// convective and skew-symmetric forms move different forward-path traffic
+// and are not described; the bench tools and the solver's flop accounting
+// use the default divergence form.
+func (c Config) Schedule() *schedule.Schedule {
+	c.fillDefaults()
+	return schedule.Timestep(schedule.TimestepParams{
+		Nx: c.Nx, Ny: c.Ny, Nz: c.Nz,
+		PA: c.PA, PB: c.PB,
+		Products:   nProducts,
+		PackPasses: 4,
+	})
+}

@@ -7,7 +7,6 @@ import (
 	"channeldns/internal/bspline"
 	"channeldns/internal/fft"
 	"channeldns/internal/field"
-	"channeldns/internal/machine"
 	"channeldns/internal/mpi"
 	"channeldns/internal/pencil"
 	"channeldns/internal/telemetry"
@@ -120,7 +119,9 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 		// Attach before the cartesian splits below so CommA/CommB inherit
 		// the collector for their collective instrumentation.
 		world.SetTelemetry(s.tel)
-		s.stepFlops = int64(machine.StepFlops(cfg.Nx, cfg.Ny, cfg.Nz) / float64(world.Size()))
+		// Flop accounting comes from the same schedule that describes the
+		// step's operations, divided evenly across ranks.
+		s.stepFlops = int64(cfg.Schedule().TotalFlops() / float64(world.Size()))
 	}
 	if cfg.Trace != nil {
 		s.trc = cfg.Trace.Rank(world.Rank())

@@ -1,6 +1,10 @@
 package machine
 
-import "math"
+import (
+	"math"
+
+	"channeldns/internal/schedule"
+)
 
 // Mode selects the parallelism model of paper §5: one MPI rank per core, or
 // one rank per node with threads covering the node ("Hybrid").
@@ -19,38 +23,52 @@ func (m Mode) String() string {
 	return "MPI"
 }
 
-// Breakdown is the per-section time split the paper's Tables 9/10 report.
+// Breakdown is the per-section time split the paper's Tables 9/10 report,
+// produced by interpreting a schedule. The paper columns bucket ops by
+// KIND: transpose + reorder -> Transpose, fft -> FFT, solve -> Advance.
+// Phases buckets the same seconds by each op's live-taxonomy PHASE name, so
+// a model prediction lines up column-for-column with a telemetry report.
+// The two views fold differently on purpose: the live code times its fused
+// x-transform/product block under "nonlinear" and the banded advance under
+// "viscous_solve"/"pressure", so the paper's "FFT" column = fft_forward +
+// fft_inverse + the x-stage share of nonlinear, and "N-S advance" =
+// nonlinear + viscous_solve + pressure minus that share.
 type Breakdown struct {
-	Transpose, FFT, Advance float64 // seconds
+	Transpose, FFT, Advance float64 // seconds, the paper's table columns
+	// Collective is reduction/broadcast time outside the transpose path
+	// (zero in the paper's tables, which exclude it).
+	Collective float64
+	// Phases holds the same interpreted seconds keyed by canonical phase
+	// name (nil for paper-measurement breakdowns, which only publish the
+	// three columns).
+	Phases map[string]float64
 }
 
 // Total returns the summed step time.
-func (b Breakdown) Total() float64 { return b.Transpose + b.FFT + b.Advance }
+func (b Breakdown) Total() float64 { return b.Transpose + b.FFT + b.Advance + b.Collective }
 
-// a2aParams describes one alltoall phase for costing.
+// a2aParams describes one alltoall wire phase for costing. Pack/unpack
+// memory passes are separate Reorder ops in the schedule.
 type a2aParams struct {
 	p            int     // communicator size
 	rpnGroup     int     // ranks of one group on a node (locality)
 	rpnNode      int     // total participating ranks per node
 	bytesPerRank float64 // bytes contributed by each rank
 	totalNodes   int     // job size, for topology contention
-	packPasses   float64 // memory passes over the data for pack+unpack
 }
 
-// alltoall models one alltoallv phase: local pack/unpack memory passes plus
-// either an on-node shuffle (when the group fits in a node) or network
-// injection at the topology- and message-size-limited bandwidth plus
-// per-message overheads.
+// alltoall models one alltoallv wire phase: an on-node shuffle when the
+// group fits in a node, otherwise network injection at the topology- and
+// message-size-limited bandwidth plus per-message overheads.
 func (m Machine) alltoall(a a2aParams) float64 {
 	if a.p <= 1 {
 		return 0
 	}
 	dataNode := float64(a.rpnNode) * a.bytesPerRank
-	tPack := a.packPasses * dataNode / m.MemBWNode
 	nodes := (a.p + a.rpnGroup - 1) / a.rpnGroup
 	if nodes <= 1 {
-		// Node-local: one more read+write pass through memory.
-		return tPack + 2*dataNode/m.MemBWNode
+		// Node-local: one read+write pass through memory.
+		return 2 * dataNode / m.MemBWNode
 	}
 	offFrac := float64(a.p-a.rpnGroup) / float64(a.p)
 	bytesOff := dataNode * offFrac
@@ -63,7 +81,7 @@ func (m Machine) alltoall(a a2aParams) float64 {
 	bw := m.NetBWNode * share * m.msgRamp(msgSize)
 	tNet := bytesOff / bw
 	tLat := m.NetLatency * float64(a.rpnNode) * float64(a.p-1)
-	return tPack + tNet + tLat
+	return tNet + tLat
 }
 
 // grid2D picks the PA x PB process grid for a rank count: PB is kept at the
@@ -83,16 +101,6 @@ func grid2D(ranks, rpnNode, cpn int) (pa, pb int) {
 	return ranks / pb, pb
 }
 
-// fftFlops returns the flop count of one complex FFT of length n (5 n log2 n)
-// or half that for a real transform.
-func fftFlops(n int, realT bool) float64 {
-	f := 5 * float64(n) * math.Log2(float64(n))
-	if realT {
-		f /= 2
-	}
-	return f
-}
-
 // xCacheEff models the weak-scaling cache degradation of the x transforms:
 // long padded lines fall out of cache (paper §5.2).
 func xCacheEff(mx int) float64 {
@@ -103,14 +111,19 @@ func xCacheEff(mx int) float64 {
 	return 1 / (1 + 0.35*math.Log2(float64(mx)/fit))
 }
 
-// nsFlopsPerPoint is the calibrated operation count of the Navier-Stokes
-// time advance per spectral point (solves, matvecs, influence correction).
-const nsFlopsPerPoint = 2000.0
+// nsFlopsPerPoint re-exports the schedule package's calibrated N-S advance
+// operation count (Table 2 uses it directly).
+const nsFlopsPerPoint = schedule.NSFlopsPerPoint
 
-// TimestepTime models one full RK3 timestep (three substeps) of the channel
-// code on the given machine, mode, grid and core count, returning the
-// Transpose / FFT / N-S advance split of Tables 9 and 10.
-func TimestepTime(m Machine, mode Mode, nx, ny, nz, cores int) Breakdown {
+// timestepPackPasses is the on-node pack+unpack memory passes around each
+// timestep transpose (pack read+write, unpack read+write).
+const timestepPackPasses = 4
+
+// TimestepProgram builds the paper's RK3 timestep schedule (5 products, the
+// paper's accounting) and the placement environment for the given machine,
+// mode, grid and core count — the program whose interpretation is one row
+// of Tables 9/10/11.
+func TimestepProgram(m Machine, mode Mode, nx, ny, nz, cores int) (*schedule.Schedule, Env) {
 	nodes := max(1, cores/m.CoresPerNode)
 	var ranks, rpnNode int
 	if mode == ModeMPI {
@@ -121,39 +134,16 @@ func TimestepTime(m Machine, mode Mode, nx, ny, nz, cores int) Breakdown {
 		rpnNode = 1
 	}
 	pa, pb := grid2D(ranks, rpnNode, m.CoresPerNode)
-
-	nkx := nx / 2
-	mx, mz := 3*nx/2, 3*nz/2
-	fieldBytes := 16 * float64(nkx) * float64(nz) * float64(ny) / float64(ranks)
-	padBytes := fieldBytes * 1.5
-
+	s := schedule.Timestep(schedule.TimestepParams{
+		Nx: nx, Ny: ny, Nz: nz, PA: pa, PB: pb,
+		Products: 5, PackPasses: timestepPackPasses,
+	})
 	// CommB locality: in MPI mode a CommB group is a whole node; in hybrid
 	// mode each group spans pb nodes with one rank each.
 	rpnGroupB := pb
 	if mode == ModeHybrid {
 		rpnGroupB = 1
 	}
-	rpnGroupA := max(1, rpnNode/pb)
-
-	a2a := func(p, rpnGroup int, bytes float64, fields float64) float64 {
-		return m.alltoall(a2aParams{
-			p: p, rpnGroup: rpnGroup, rpnNode: rpnNode,
-			bytesPerRank: bytes * fields, totalNodes: nodes, packPasses: 4,
-		})
-	}
-	// Paper step sequence per substep: 3 fields out (y->z spectral,
-	// z->x padded), 5 fields back (x->z padded, z->y spectral).
-	transpose := a2a(pb, rpnGroupB, fieldBytes, 3) +
-		a2a(pa, rpnGroupA, padBytes, 3) +
-		a2a(pa, rpnGroupA, padBytes, 5) +
-		a2a(pb, rpnGroupB, fieldBytes, 5)
-
-	// FFT work per node per substep: inverse z + x for 3 fields, forward
-	// for 5 fields (x transforms are real; z complex).
-	linesZ := float64(nkx) * float64(ny) / float64(nodes)
-	linesX := float64(mz) * float64(ny) / float64(nodes)
-	flopsZ := 8 * linesZ * fftFlops(mz, false)
-	flopsX := 8 * linesX * fftFlops(mx, true)
 	// FFTRate and NSRate are single-thread rates; hardware threading (BG/Q
 	// SMT) is applied in both modes, as the paper does, and hybrid tasks
 	// pay the cross-socket threading efficiency.
@@ -161,47 +151,52 @@ func TimestepTime(m Machine, mode Mode, nx, ny, nz, cores int) Breakdown {
 	if mode == ModeHybrid {
 		coresEff *= m.ThreadEff
 	}
-	fft := (flopsZ + flopsX/xCacheEff(mx)) / (m.FFTRate * coresEff)
+	env := Env{
+		Machine: m, Mode: mode, RPNNode: rpnNode, Nodes: nodes,
+		RPNGroupA: max(1, rpnNode/pb), RPNGroupB: rpnGroupB,
+		CoresEff: coresEff,
+	}
+	return s, env
+}
 
-	// N-S advance per node per substep.
-	points := float64(nkx) * float64(nz) * float64(ny) / float64(nodes)
-	advance := points * nsFlopsPerPoint / (m.NSRate * coresEff)
-
-	return Breakdown{Transpose: 3 * transpose, FFT: 3 * fft, Advance: 3 * advance}
+// TimestepTime models one full RK3 timestep (three substeps) of the channel
+// code on the given machine, mode, grid and core count, returning the
+// Transpose / FFT / N-S advance split of Tables 9 and 10.
+func TimestepTime(m Machine, mode Mode, nx, ny, nz, cores int) Breakdown {
+	s, env := TimestepProgram(m, mode, nx, ny, nz, cores)
+	return Interpret(env, s)
 }
 
 // TransposeCycleTime models Table 5: one full transpose cycle
 // (x -> z -> y then y -> z -> x, four alltoalls on three fields) for an
-// explicit CommA x CommB split, in MPI-per-core mode.
+// explicit CommA x CommB split, in MPI-per-core mode. Table 5 excludes
+// on-node reordering, so the schedule carries no Reorder ops.
 func TransposeCycleTime(m Machine, nx, ny, nz, pa, pb int) float64 {
 	ranks := pa * pb
-	cores := ranks
-	nodes := max(1, cores/m.CoresPerNode)
+	nodes := max(1, ranks/m.CoresPerNode)
 	rpnNode := m.CoresPerNode
 	if ranks < m.CoresPerNode {
 		rpnNode = ranks
 	}
-	// CommB groups are contiguous rank blocks: ranks per node in a group.
-	rpnGroupB := min(pb, rpnNode)
-	rpnGroupA := max(1, rpnNode/pb)
-	nkx := nx / 2
-	fieldBytes := 16 * float64(nkx) * float64(nz) * float64(ny) / float64(ranks)
-	const fields = 3
-	a := m.alltoall(a2aParams{p: pa, rpnGroup: rpnGroupA, rpnNode: rpnNode,
-		bytesPerRank: fieldBytes * fields, totalNodes: nodes, packPasses: 0})
-	b := m.alltoall(a2aParams{p: pb, rpnGroup: rpnGroupB, rpnNode: rpnNode,
-		bytesPerRank: fieldBytes * fields, totalNodes: nodes, packPasses: 0})
-	// Table 5 excludes on-node reordering, hence packPasses = 0.
-	return 2 * (a + b)
+	s := schedule.TransposeCycle(schedule.TransposeCycleParams{
+		Nx: nx, Ny: ny, Nz: nz, PA: pa, PB: pb, Fields: 3,
+	})
+	env := Env{
+		Machine: m, Mode: ModeMPI, RPNNode: rpnNode, Nodes: nodes,
+		// CommB groups are contiguous rank blocks: ranks per node in a group.
+		RPNGroupA: max(1, rpnNode/pb), RPNGroupB: min(pb, rpnNode),
+	}
+	return Interpret(env, s).Total()
 }
 
-// FFTKind selects the parallel FFT implementation for Table 6.
-type FFTKind int
+// FFTKind selects the parallel FFT implementation for Table 6; the kinds
+// (and their layout constants) live in internal/schedule.
+type FFTKind = schedule.FFTKind
 
 // Parallel FFT kernels compared in Table 6.
 const (
-	KindCustom FFTKind = iota
-	KindP3DFFT
+	KindCustom = schedule.FFTCustom
+	KindP3DFFT = schedule.FFTP3DFFT
 )
 
 // FFTCycleTime models Table 6: one full parallel-FFT cycle (four transposes,
@@ -211,52 +206,39 @@ const (
 func FFTCycleTime(m Machine, kind FFTKind, nx, ny, nz, cores int) (float64, bool) {
 	nodes := max(1, cores/m.CoresPerNode)
 	var ranks, rpnNode int
-	var nkx int
-	var packPasses, bufFactor float64
 	var rateMul float64
 	if kind == KindCustom {
-		// Hybrid: one rank per node, threaded kernels, Nyquist dropped,
-		// 1x communication scratch.
+		// Hybrid: one rank per node, threaded kernels.
 		ranks = nodes
 		rpnNode = 1
-		nkx = nx / 2
-		packPasses = 4
-		bufFactor = 2.5
 		rateMul = m.ThreadEff * m.HWThreadGain
 	} else {
-		// P3DFFT: rank per core, Nyquist kept, 3x buffers, no threading
-		// (so no hardware-thread gain on BG/Q).
+		// P3DFFT: rank per core, no threading (so no hardware-thread gain
+		// on BG/Q).
 		ranks = cores
 		rpnNode = m.CoresPerNode
-		nkx = nx/2 + 1
-		packPasses = 6
-		bufFactor = 6
 		rateMul = 1
 	}
 	if ranks == 0 {
 		return 0, false
 	}
 	pa, pb := grid2D(ranks, rpnNode, m.CoresPerNode)
-	fieldBytes := 16 * float64(nkx) * float64(nz) * float64(ny) / float64(ranks)
-	if fieldBytes*bufFactor*float64(rpnNode) > m.NodeMemBytes {
-		return 0, false
-	}
+	s := schedule.FFTCycle(schedule.FFTCycleParams{
+		Nx: nx, Ny: ny, Nz: nz, PA: pa, PB: pb, Fields: 1, Kind: kind,
+	})
 	rpnGroupB := pb
 	if rpnNode == 1 {
 		rpnGroupB = 1
 	} else {
 		rpnGroupB = min(pb, rpnNode)
 	}
-	rpnGroupA := max(1, rpnNode/pb)
-	a2a := func(p, rpnGroup int) float64 {
-		return m.alltoall(a2aParams{p: p, rpnGroup: rpnGroup, rpnNode: rpnNode,
-			bytesPerRank: fieldBytes, totalNodes: nodes, packPasses: packPasses})
+	env := Env{
+		Machine: m, Mode: ModeMPI, RPNNode: rpnNode, Nodes: nodes,
+		RPNGroupA: max(1, rpnNode/pb), RPNGroupB: rpnGroupB,
+		CoresEff: float64(m.CoresPerNode) * rateMul,
 	}
-	transpose := 2*a2a(pb, rpnGroupB) + 2*a2a(pa, rpnGroupA)
-
-	linesZ := float64(nkx) * float64(ny) / float64(nodes)
-	linesX := float64(nz) * float64(ny) / float64(nodes)
-	flops := 2*linesZ*fftFlops(nz, false) + 2*linesX*fftFlops(nx, true)
-	fft := flops / (m.FFTRate * float64(m.CoresPerNode) * rateMul)
-	return transpose + fft, true
+	if !Feasible(env, s) {
+		return 0, false
+	}
+	return Interpret(env, s).Total(), true
 }

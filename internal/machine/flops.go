@@ -1,5 +1,7 @@
 package machine
 
+import "channeldns/internal/schedule"
+
 // Aggregate flop-rate accounting of paper §5.3: on the full strong-scaling
 // problem at 786K cores the channel code sustains 271 TFlops (about 2.7% of
 // theoretical peak), rising to about 906 TFlops (9.0%) when only the
@@ -9,16 +11,14 @@ package machine
 // StepFlops counts the floating-point operations of one full RK3 timestep
 // on the given grid: three substeps of batched z and x transforms (3 fields
 // out, 5 back) on the 3/2-rule grids plus the per-mode time-advance linear
-// algebra.
+// algebra. It is the flop total of the paper's timestep schedule; the
+// process-grid split does not change the work.
 func StepFlops(nx, ny, nz int) float64 {
-	nkx := nx / 2
-	mx, mz := 3*nx/2, 3*nz/2
-	linesZ := float64(nkx) * float64(ny)
-	linesX := float64(mz) * float64(ny)
-	flopsZ := 8 * linesZ * fftFlops(mz, false)
-	flopsX := 8 * linesX * fftFlops(mx, true)
-	advance := float64(nkx) * float64(nz) * float64(ny) * nsFlopsPerPoint
-	return 3 * (flopsZ + flopsX + advance)
+	s := schedule.Timestep(schedule.TimestepParams{
+		Nx: nx, Ny: ny, Nz: nz, PA: 1, PB: 1,
+		Products: 5, PackPasses: timestepPackPasses,
+	})
+	return s.TotalFlops()
 }
 
 // FlopsReport summarizes sustained and on-node-only flop rates.

@@ -1,0 +1,195 @@
+package machine
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden file pins every model value of Tables 5/6/9/10/11 (plus the
+// per-step flop count) as produced by the pre-interpreter cost formulas, so
+// the schedule-interpreter refactor is provably value-preserving. Regenerate
+// with `go test ./internal/machine -run TestGoldenTables -update` ONLY when a
+// deliberate model recalibration changes the numbers.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_tables.json from the current model")
+
+// goldenRelTol bounds the relative drift the refactor may introduce: the
+// interpreter sums the same terms in schedule order rather than formula
+// order, so only floating-point reassociation noise (~1e-16) is expected.
+const goldenRelTol = 1e-9
+
+type goldenTables struct {
+	Table5 []struct {
+		System string  `json:"system"`
+		PA     int     `json:"pa"`
+		PB     int     `json:"pb"`
+		Model  float64 `json:"model"`
+	} `json:"table5"`
+	Table6 []struct {
+		System string  `json:"system"`
+		Cores  int     `json:"cores"`
+		P3DFFT float64 `json:"p3dfft"`
+		Custom float64 `json:"custom"`
+	} `json:"table6"`
+	Table9  []goldenTimestepRow `json:"table9"`
+	Table10 []goldenTimestepRow `json:"table10"`
+	Table11 []struct {
+		Cores  int     `json:"cores"`
+		Weak   bool    `json:"weak"`
+		MPI    float64 `json:"mpi"`
+		Hybrid float64 `json:"hybrid"`
+	} `json:"table11"`
+	StepFlops map[string]float64 `json:"step_flops"`
+}
+
+type goldenTimestepRow struct {
+	System    string  `json:"system"`
+	Mode      string  `json:"mode"`
+	Cores     int     `json:"cores"`
+	Nx        int     `json:"nx,omitempty"`
+	Transpose float64 `json:"transpose"`
+	FFT       float64 `json:"fft"`
+	Advance   float64 `json:"advance"`
+}
+
+// currentGolden evaluates the live model into the golden layout.
+func currentGolden() goldenTables {
+	var g goldenTables
+	for _, r := range Table5() {
+		g.Table5 = append(g.Table5, struct {
+			System string  `json:"system"`
+			PA     int     `json:"pa"`
+			PB     int     `json:"pb"`
+			Model  float64 `json:"model"`
+		}{r.System, r.PA, r.PB, r.Model})
+	}
+	for _, r := range Table6() {
+		g.Table6 = append(g.Table6, struct {
+			System string  `json:"system"`
+			Cores  int     `json:"cores"`
+			P3DFFT float64 `json:"p3dfft"`
+			Custom float64 `json:"custom"`
+		}{r.System, r.Cores, r.ModelP3DFFT, r.ModelCustom})
+	}
+	conv := func(rows []TimestepRow) []goldenTimestepRow {
+		out := make([]goldenTimestepRow, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, goldenTimestepRow{
+				System: r.System, Mode: r.Mode.String(), Cores: r.Cores, Nx: r.Nx,
+				Transpose: r.Model.Transpose, FFT: r.Model.FFT, Advance: r.Model.Advance,
+			})
+		}
+		return out
+	}
+	g.Table9 = conv(Table9())
+	g.Table10 = conv(Table10())
+	for _, r := range Table11() {
+		g.Table11 = append(g.Table11, struct {
+			Cores  int     `json:"cores"`
+			Weak   bool    `json:"weak"`
+			MPI    float64 `json:"mpi"`
+			Hybrid float64 `json:"hybrid"`
+		}{r.Cores, r.Weak, r.ModelMPI, r.ModelHybrid})
+	}
+	g.StepFlops = map[string]float64{
+		"32x33x32":       StepFlops(32, 33, 32),
+		"64x65x64":       StepFlops(64, 65, 64),
+		"2048x1024x2048": StepFlops(2048, 1024, 2048),
+	}
+	return g
+}
+
+func TestGoldenTables(t *testing.T) {
+	path := filepath.Join("testdata", "golden_tables.json")
+	got := currentGolden()
+	if *updateGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	var want goldenTables
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	cmp := func(name string, want, got float64) {
+		t.Helper()
+		if want == got {
+			return
+		}
+		denom := math.Max(math.Abs(want), math.Abs(got))
+		if math.Abs(want-got)/denom > goldenRelTol {
+			t.Errorf("%s: golden %v, got %v (rel %.3g)",
+				name, want, got, math.Abs(want-got)/denom)
+		}
+	}
+
+	if len(got.Table5) != len(want.Table5) {
+		t.Fatalf("table5: %d rows, golden has %d", len(got.Table5), len(want.Table5))
+	}
+	for i, w := range want.Table5 {
+		r := got.Table5[i]
+		if r.System != w.System || r.PA != w.PA || r.PB != w.PB {
+			t.Fatalf("table5[%d]: row identity changed: %+v vs %+v", i, r, w)
+		}
+		cmp("table5["+w.System+"]", w.Model, r.Model)
+	}
+	if len(got.Table6) != len(want.Table6) {
+		t.Fatalf("table6: %d rows, golden has %d", len(got.Table6), len(want.Table6))
+	}
+	for i, w := range want.Table6 {
+		r := got.Table6[i]
+		if r.System != w.System || r.Cores != w.Cores {
+			t.Fatalf("table6[%d]: row identity changed: %+v vs %+v", i, r, w)
+		}
+		cmp("table6.p3dfft["+w.System+"]", w.P3DFFT, r.P3DFFT)
+		cmp("table6.custom["+w.System+"]", w.Custom, r.Custom)
+	}
+	cmpTS := func(name string, want, got []goldenTimestepRow) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, golden has %d", name, len(got), len(want))
+		}
+		for i, w := range want {
+			r := got[i]
+			if r.System != w.System || r.Mode != w.Mode || r.Cores != w.Cores || r.Nx != w.Nx {
+				t.Fatalf("%s[%d]: row identity changed: %+v vs %+v", name, i, r, w)
+			}
+			id := name + "[" + w.System + "/" + w.Mode + "]"
+			cmp(id+".transpose", w.Transpose, r.Transpose)
+			cmp(id+".fft", w.FFT, r.FFT)
+			cmp(id+".advance", w.Advance, r.Advance)
+		}
+	}
+	cmpTS("table9", want.Table9, got.Table9)
+	cmpTS("table10", want.Table10, got.Table10)
+	if len(got.Table11) != len(want.Table11) {
+		t.Fatalf("table11: %d rows, golden has %d", len(got.Table11), len(want.Table11))
+	}
+	for i, w := range want.Table11 {
+		r := got.Table11[i]
+		if r.Cores != w.Cores || r.Weak != w.Weak {
+			t.Fatalf("table11[%d]: row identity changed: %+v vs %+v", i, r, w)
+		}
+		cmp("table11.mpi", w.MPI, r.MPI)
+		cmp("table11.hybrid", w.Hybrid, r.Hybrid)
+	}
+	for grid, w := range want.StepFlops {
+		cmp("step_flops["+grid+"]", w, got.StepFlops[grid])
+	}
+}

@@ -85,7 +85,7 @@ func Table9() []TimestepRow {
 		out = append(out, TimestepRow{
 			System: c.System, Mode: c.Mode, Cores: c.Cores,
 			Model: TimestepTime(m, c.Mode, nx, ny, nz, c.Cores),
-			Paper: Breakdown{c.PaperTranspose, c.PaperFFT, c.PaperAdvance},
+			Paper: Breakdown{Transpose: c.PaperTranspose, FFT: c.PaperFFT, Advance: c.PaperAdvance},
 		})
 	}
 	return out
@@ -100,7 +100,7 @@ func Table10() []TimestepRow {
 		out = append(out, TimestepRow{
 			System: c.System, Mode: c.Mode, Cores: c.Cores, Nx: c.Nx,
 			Model: TimestepTime(m, c.Mode, c.Nx, ny, nz, c.Cores),
-			Paper: Breakdown{c.PaperTranspose, c.PaperFFT, c.PaperAdvance},
+			Paper: Breakdown{Transpose: c.PaperTranspose, FFT: c.PaperFFT, Advance: c.PaperAdvance},
 		})
 	}
 	return out

@@ -25,6 +25,7 @@ import (
 
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
+	"channeldns/internal/schedule"
 	"channeldns/internal/telemetry"
 	"channeldns/internal/trace"
 )
@@ -47,17 +48,18 @@ const (
 	numDirs
 )
 
-// String names the direction the way the tables in the paper do.
+// String names the direction the way the tables in the paper do (the
+// canonical internal/schedule direction vocabulary).
 func (d TransposeDir) String() string {
 	switch d {
 	case DirYtoZ:
-		return "YtoZ"
+		return schedule.DirYtoZ
 	case DirZtoY:
-		return "ZtoY"
+		return schedule.DirZtoY
 	case DirZtoX:
-		return "ZtoX"
+		return schedule.DirZtoX
 	case DirXtoZ:
-		return "XtoZ"
+		return schedule.DirXtoZ
 	}
 	return fmt.Sprintf("TransposeDir(%d)", int(d))
 }

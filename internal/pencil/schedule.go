@@ -1,0 +1,17 @@
+package pencil
+
+import "channeldns/internal/schedule"
+
+// CycleSchedule returns the declarative schedule of one full transpose
+// cycle (YtoZ, ZtoX, XtoZ, ZtoY on the spectral grid) over nf fields as
+// this decomposition executes it — the live analog of the Table 5
+// benchmark program. Each transpose packs and unpacks through the plan's
+// persistent buffers (4 memory passes).
+func (d *Decomp) CycleSchedule(nf int) *schedule.Schedule {
+	return schedule.TransposeCycle(schedule.TransposeCycleParams{
+		Nx: 2 * d.NKx, NKx: d.NKx, Ny: d.NY, Nz: d.NZ,
+		PA: d.PA, PB: d.PB,
+		Fields:     nf,
+		PackPasses: 4,
+	})
+}

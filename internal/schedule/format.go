@@ -1,0 +1,67 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+)
+
+// Write prints the op list in a fixed-width human-readable layout (the
+// bench tools' -schedule output): one line per op with its phase, shape and
+// per-op byte/flop figures, then the schedule totals.
+func (s *Schedule) Write(w io.Writer) {
+	fmt.Fprintf(w, "schedule %q: %dx%dx%d grid (nkx=%d), %d ranks (CommA=%d x CommB=%d)\n",
+		s.Name, s.Nx, s.Ny, s.Nz, s.NKx, s.Ranks, s.PA, s.PB)
+	if s.ResidentBytesPerRank > 0 {
+		fmt.Fprintf(w, "resident bytes/rank: %.4g\n", s.ResidentBytesPerRank)
+	}
+	for i, op := range s.Ops {
+		fmt.Fprintf(w, "%3d  %-10s %-13s %s\n", i, op.Kind, op.Phase, opDetail(op))
+	}
+	var bytes float64
+	var msgs int
+	for _, op := range s.Ops {
+		if op.Kind == OpTranspose {
+			bytes += op.BytesPerRank
+			msgs += op.Messages
+		}
+	}
+	fmt.Fprintf(w, "totals: %d ops, %.4g wire bytes/rank, %d messages/rank, %.4g flops\n",
+		len(s.Ops), bytes, msgs, s.TotalFlops())
+}
+
+// opDetail renders the kind-specific shape of one op.
+func opDetail(op Op) string {
+	sub := ""
+	if op.Sub > 0 {
+		sub = fmt.Sprintf(" sub=%d", op.Sub)
+	}
+	switch op.Kind {
+	case OpTranspose:
+		return fmt.Sprintf("%-4s Comm%s(%d) fields=%d bytes/rank=%.4g msgs=%d%s",
+			op.Dir, op.Comm, op.CommSize, op.Fields, op.BytesPerRank, op.Messages, sub)
+	case OpReorder:
+		return fmt.Sprintf("%-4s pack+unpack passes=%g bytes/rank=%.4g%s",
+			op.Dir, op.Passes, op.BytesPerRank, sub)
+	case OpFFT:
+		dir := "forward"
+		if op.Inverse {
+			dir = "inverse"
+		}
+		kind := "complex"
+		if op.Real {
+			kind = "real"
+		}
+		pad := ""
+		if op.Padded {
+			pad = " padded"
+		}
+		return fmt.Sprintf("%s-%s %s%s fields=%d lines=%d points=%d flops=%.4g%s",
+			op.Axis, dir, kind, pad, op.Fields, op.Lines, op.Points, op.Flops, sub)
+	case OpSolve:
+		return fmt.Sprintf("systems=%d bandwidth=%d flops=%.4g%s",
+			op.Systems, op.Bandwidth, op.Flops, sub)
+	case OpCollective:
+		return fmt.Sprintf("bytes/rank=%.4g%s", op.BytesPerRank, sub)
+	}
+	return ""
+}

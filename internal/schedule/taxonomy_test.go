@@ -1,0 +1,96 @@
+package schedule
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTaxonomySingleDefinitionSite enforces the tentpole invariant: the
+// canonical phase names exist as string literals ONLY in this package.
+// Every other production file must reference them through the schedule (or
+// telemetry alias) constants, so a rename here is a rename everywhere and
+// no free-floating phase string can drift from the taxonomy the model
+// predicts. Test files are exempt (they pin literal fixtures on purpose).
+func TestTaxonomySingleDefinitionSite(t *testing.T) {
+	root := repoRoot(t)
+	canon := map[string]bool{}
+	for _, n := range PhaseNames {
+		canon[n] = true
+	}
+	for _, d := range []string{DirYtoZ, DirZtoY, DirZtoX, DirXtoZ} {
+		canon[d] = true
+	}
+
+	selfDir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == ".bench-smoke" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if dir := filepath.Dir(path); dir == selfDir {
+			return nil // the definition site itself
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if canon[s] {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s:%v: phase/direction name %q hardcoded; use the internal/schedule constants",
+					rel, fset.Position(lit.Pos()).Line, s)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoRoot walks up from the package directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above package directory")
+		}
+		dir = parent
+	}
+}

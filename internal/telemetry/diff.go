@@ -153,6 +153,11 @@ func Diff(base, cand *Report, opt DiffOptions) *DiffResult {
 		_, ok := candComm[c.Op]
 		structural("comm."+c.Op+".present", ok, "instrumented comm channel")
 	}
+	// One-sided: a baseline without a schedule block (pre-schedule artifact)
+	// asks nothing of the candidate.
+	if base.Schedule != nil {
+		structural("schedule.present", cand.Schedule != nil, "declarative schedule block")
+	}
 	candMetrics := map[string]bool{}
 	for k := range cand.Metrics {
 		candMetrics[k] = true

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
+
+	"channeldns/internal/schedule"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump it when a field
@@ -67,6 +70,15 @@ type Report struct {
 	// Trace carries the critical-path digest of a traced run (absent when
 	// tracing was off). Populated by trace.Summarize.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Schedule is the declarative op list of the program the run executed
+	// (one RK3 timestep or one Table 5/6 sub-cycle), emitted by the
+	// producing tool from the same objects that ran — core.Config.Schedule,
+	// pencil.Decomp.CycleSchedule, parfft.Kernel.Schedule. bench-diff
+	// -model interprets it under the machine performance model;
+	// CheckScheduleConsistency cross-checks its traffic against the
+	// measured comm table. Absent from reports of tools without a single
+	// underlying program.
+	Schedule *schedule.Schedule `json:"schedule,omitempty"`
 }
 
 // TraceSummary is the critical-path digest of a flight-recorder trace:
@@ -240,6 +252,133 @@ func (r *Report) Validate() error {
 		for i, v := range t.RankSlackSeconds {
 			if v < 0 || v != v {
 				return fmt.Errorf("trace: rank %d: bad slack %g", i, v)
+			}
+		}
+	}
+	if err := r.validateSchedule(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scheduleOpKinds is the closed op vocabulary a schedule block may use.
+var scheduleOpKinds = map[string]bool{
+	schedule.OpTranspose: true, schedule.OpReorder: true, schedule.OpFFT: true,
+	schedule.OpSolve: true, schedule.OpCollective: true,
+}
+
+var scheduleDirs = map[string]bool{
+	schedule.DirYtoZ: true, schedule.DirZtoY: true,
+	schedule.DirZtoX: true, schedule.DirXtoZ: true,
+}
+
+// validateSchedule checks the structural invariants of an attached schedule
+// block: a non-empty op list, canonical phase names, the closed op-kind and
+// direction vocabularies, and sane sizes.
+func (r *Report) validateSchedule() error {
+	s := r.Schedule
+	if s == nil {
+		return nil
+	}
+	if s.Name == "" {
+		return fmt.Errorf("schedule: empty name")
+	}
+	if s.Ranks < 1 || s.PA < 1 || s.PB < 1 || s.PA*s.PB != s.Ranks {
+		return fmt.Errorf("schedule: bad process grid %dx%d (ranks=%d)", s.PA, s.PB, s.Ranks)
+	}
+	if len(s.Ops) == 0 {
+		return fmt.Errorf("schedule: empty op list")
+	}
+	for i, op := range s.Ops {
+		if !scheduleOpKinds[op.Kind] {
+			return fmt.Errorf("schedule: op %d: unknown kind %q", i, op.Kind)
+		}
+		if _, ok := PhaseFromString(op.Phase); !ok {
+			return fmt.Errorf("schedule: op %d (%s): unknown phase %q", i, op.Kind, op.Phase)
+		}
+		if op.BytesPerRank < 0 || op.Flops < 0 || op.Passes < 0 {
+			return fmt.Errorf("schedule: op %d (%s): negative size", i, op.Kind)
+		}
+		if math.IsNaN(op.BytesPerRank) || math.IsNaN(op.Flops) {
+			return fmt.Errorf("schedule: op %d (%s): NaN size", i, op.Kind)
+		}
+		if op.Kind == schedule.OpTranspose || op.Kind == schedule.OpReorder {
+			if !scheduleDirs[op.Dir] {
+				return fmt.Errorf("schedule: op %d (%s): unknown direction %q", i, op.Kind, op.Dir)
+			}
+			if op.CommSize < 1 {
+				return fmt.Errorf("schedule: op %d (%s %s): comm size %d", i, op.Kind, op.Dir, op.CommSize)
+			}
+		}
+		if op.Kind == schedule.OpTranspose && op.Messages != op.CommSize-1 {
+			return fmt.Errorf("schedule: op %d (%s %s): %d messages for comm size %d",
+				i, op.Kind, op.Dir, op.Messages, op.CommSize)
+		}
+	}
+	return nil
+}
+
+// CheckScheduleConsistency cross-checks the schedule block against the
+// measured communication table. Each wire transpose moves one packed send
+// image plus one unpacked receive image per rank — 2x the schedule op's
+// bytes_per_rank — and CommSize-1 point-to-point messages, so for every
+// direction the schedule declares, the measured comm channel must satisfy
+//
+//	bytes    == calls * 2 * bytes_per_rank   (to 1e-6 relative)
+//	messages == calls * (comm_size - 1)      (exactly)
+//
+// independent of how many times the program ran. When the report carries
+// flop accounting driven by the same schedule (timestep runs), the total is
+// checked against steps * schedule.TotalFlops to per-rank integer-truncation
+// slack. A nil schedule passes: the check gates consistency, not presence.
+func (r *Report) CheckScheduleConsistency() error {
+	s := r.Schedule
+	if s == nil {
+		return nil
+	}
+	type dirShape struct {
+		bytes float64 // per-rank payload of one execution of this direction
+		peers int     // CommSize - 1
+	}
+	shapes := map[string]dirShape{}
+	for _, op := range s.Ops {
+		if op.Kind != schedule.OpTranspose {
+			continue
+		}
+		sh, seen := shapes[op.Dir]
+		if seen && (sh.bytes != op.BytesPerRank || sh.peers != op.Messages) {
+			// Executions of one direction vary in size within the program;
+			// the per-call invariant below would not be well defined.
+			return fmt.Errorf("schedule: direction %s has non-uniform transpose sizes", op.Dir)
+		}
+		shapes[op.Dir] = dirShape{bytes: op.BytesPerRank, peers: op.Messages}
+	}
+	for _, c := range r.Comm {
+		sh, ok := shapes[c.Op]
+		if !ok {
+			continue // collectives and channels outside the schedule
+		}
+		wantBytes := 2 * sh.bytes * float64(c.Calls)
+		if diff := math.Abs(float64(c.Bytes) - wantBytes); diff > 1e-6*wantBytes {
+			return fmt.Errorf("schedule: %s: measured %d bytes over %d calls, schedule predicts %.0f",
+				c.Op, c.Bytes, c.Calls, wantBytes)
+		}
+		if want := c.Calls * int64(sh.peers); c.Messages != want {
+			return fmt.Errorf("schedule: %s: measured %d messages over %d calls, schedule predicts %d",
+				c.Op, c.Messages, c.Calls, want)
+		}
+	}
+	if r.Flops > 0 && r.Steps > 0 && r.Ranks > 0 {
+		if tf := s.TotalFlops(); tf > 0 {
+			// Steps and Flops are both summed across ranks; each rank credits
+			// int64(total/ranks) per step, so the whole-problem total appears
+			// once per ranks rank-steps, with up to 1 flop of truncation per
+			// credit.
+			want := tf * float64(r.Steps) / float64(r.Ranks)
+			slack := 1e-6*want + float64(r.Steps)
+			if diff := math.Abs(float64(r.Flops) - want); diff > slack {
+				return fmt.Errorf("schedule: %d flops over %d rank-steps on %d ranks, schedule predicts %.0f",
+					r.Flops, r.Steps, r.Ranks, want)
 			}
 		}
 	}

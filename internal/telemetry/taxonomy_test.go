@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"testing"
+
+	"channeldns/internal/schedule"
+)
+
+// The phase vocabulary is defined once, in internal/schedule; telemetry
+// only aliases it. These assertions pin the re-export so the two packages
+// cannot drift apart (a schedule rename must flow through here by
+// construction, and the comm channels must keep matching the schedule's
+// transpose directions).
+func TestTaxonomyMatchesSchedule(t *testing.T) {
+	if NumPhases != schedule.NumPhases {
+		t.Fatalf("telemetry NumPhases %d != schedule %d", NumPhases, schedule.NumPhases)
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != schedule.PhaseNames[p] {
+			t.Errorf("phase %d: %q != schedule name %q", p, p.String(), schedule.PhaseNames[p])
+		}
+		got, ok := PhaseFromString(schedule.PhaseNames[p])
+		if !ok || got != p {
+			t.Errorf("PhaseFromString(%q) broken", schedule.PhaseNames[p])
+		}
+	}
+	dirs := map[CommOp]string{
+		CommYtoZ: schedule.DirYtoZ, CommZtoY: schedule.DirZtoY,
+		CommZtoX: schedule.DirZtoX, CommXtoZ: schedule.DirXtoZ,
+		CommCollective: schedule.PhaseCollective.String(),
+	}
+	for op, want := range dirs {
+		if op.String() != want {
+			t.Errorf("comm op %d: %q != schedule vocabulary %q", op, op.String(), want)
+		}
+	}
+}

@@ -23,68 +23,39 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"channeldns/internal/schedule"
 )
 
 // Phase partitions a timestep's wall clock the way the paper's Tables
 // 5-11 do. Regions are opened around *leaf* operations (no phase nests
 // inside another), so the per-phase totals sum to the instrumented wall
 // clock.
-type Phase uint8
+//
+// The taxonomy itself — the enum, the canonical snake_case names, the
+// paper-column mapping — is defined once in internal/schedule (each
+// schedule op carries its phase), and aliased here so instrumentation
+// sites keep importing telemetry alone.
+type Phase = schedule.Phase
 
-// The phase taxonomy. README "Observability" maps each phase to the
-// paper-table column it reproduces.
+// The phase taxonomy, re-exported from internal/schedule (the single
+// definition site). See the schedule package for per-phase documentation;
+// README "Observability" maps each phase to the paper-table column it
+// reproduces.
 const (
-	// PhaseNonlinear: physical-space work of §2.3 — the fused inverse-x /
-	// pointwise-product / forward-x block plus the spectral right-hand-side
-	// assembly. Paper column "N-S advance" (with ViscousSolve and Pressure).
-	PhaseNonlinear Phase = iota
-	// PhaseFFTForward: batched forward (physical -> spectral) z transforms
-	// with 3/2-rule truncation. Paper column "FFT".
-	PhaseFFTForward
-	// PhaseFFTInverse: batched inverse (spectral -> physical) z transforms
-	// with 3/2-rule padding. Paper column "FFT".
-	PhaseFFTInverse
-	// PhaseTransposeAB: the four global transposes (alltoallv on the CommA
-	// and CommB sub-communicators, pack and unpack included, §4.3). Paper
-	// column "Transpose".
-	PhaseTransposeAB
-	// PhaseViscousSolve: the implicit RK3 substep advance — per-wavenumber
-	// banded solves for omega_y-hat and phi-hat plus the influence-matrix
-	// correction (Eq. 3-4). Paper column "N-S advance".
-	PhaseViscousSolve
-	// PhasePressure: velocity recovery from (v, omega_y) through continuity
-	// — the role the pressure solve plays in primitive-variable codes.
-	// Paper column "N-S advance".
-	PhasePressure
-	// PhaseCollective: barriers, reductions, broadcasts and gathers outside
-	// the transpose path (CFL reductions, statistics collectives).
-	PhaseCollective
+	PhaseNonlinear    = schedule.PhaseNonlinear
+	PhaseFFTForward   = schedule.PhaseFFTForward
+	PhaseFFTInverse   = schedule.PhaseFFTInverse
+	PhaseTransposeAB  = schedule.PhaseTransposeAB
+	PhaseViscousSolve = schedule.PhaseViscousSolve
+	PhasePressure     = schedule.PhasePressure
+	PhaseCollective   = schedule.PhaseCollective
 	// NumPhases is the number of phases (array extent, not a phase).
-	NumPhases
+	NumPhases = schedule.NumPhases
 )
 
-var phaseNames = [NumPhases]string{
-	"nonlinear", "fft_forward", "fft_inverse", "transpose",
-	"viscous_solve", "pressure", "collective",
-}
-
-// String returns the snake_case phase name used in reports.
-func (p Phase) String() string {
-	if p < NumPhases {
-		return phaseNames[p]
-	}
-	return "unknown"
-}
-
-// PhaseFromString inverts String; ok is false for unknown names.
-func PhaseFromString(s string) (Phase, bool) {
-	for i, n := range phaseNames {
-		if n == s {
-			return Phase(i), true
-		}
-	}
-	return 0, false
-}
+// PhaseFromString inverts Phase.String; ok is false for unknown names.
+func PhaseFromString(s string) (Phase, bool) { return schedule.PhaseFromString(s) }
 
 // CommOp identifies one communication channel in the comm accounting:
 // the four global transpose directions plus everything else.
@@ -92,15 +63,21 @@ type CommOp uint8
 
 // Communication channels.
 const (
-	CommYtoZ CommOp = iota // y-pencils -> z-pencils (CommB)
-	CommZtoY               // z-pencils -> y-pencils (CommB)
-	CommZtoX               // z-pencils -> x-pencils (CommA)
-	CommXtoZ               // x-pencils -> z-pencils (CommA)
-	CommCollective         // barriers, reductions, broadcasts, gathers
+	CommYtoZ       CommOp = iota // y-pencils -> z-pencils (CommB)
+	CommZtoY                     // z-pencils -> y-pencils (CommB)
+	CommZtoX                     // z-pencils -> x-pencils (CommA)
+	CommXtoZ                     // x-pencils -> z-pencils (CommA)
+	CommCollective               // barriers, reductions, broadcasts, gathers
 	NumCommOps
 )
 
-var commOpNames = [NumCommOps]string{"YtoZ", "ZtoY", "ZtoX", "XtoZ", "collective"}
+// Channel names: the four schedule transpose directions (the paper's
+// labels) plus the catch-all collective channel, sourced from the schedule
+// vocabulary so comm tables and schedule blocks agree byte-for-byte.
+var commOpNames = [NumCommOps]string{
+	schedule.DirYtoZ, schedule.DirZtoY, schedule.DirZtoX, schedule.DirXtoZ,
+	schedule.PhaseCollective.String(),
+}
 
 // String returns the channel name used in reports (matching the paper's
 // transpose direction labels).
