@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff clean
+.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke clean
 
-ci: vet build test race bench-smoke bench-diff
+ci: vet build test race bench-smoke bench-diff ckpt-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace
+	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace channeldns/internal/ckpt
 
 # Paper-table benchmarks with allocation reporting; see README
 # "Performance notes" for how to read the allocs/op columns.
@@ -58,6 +58,20 @@ bench-diff: bench-smoke
 	$(GO) run ./cmd/bench-diff -warn-only BENCH_table9.json .bench-smoke/BENCH_table9.json
 	$(GO) run ./cmd/bench-diff -model .bench-smoke/BENCH_table9.json
 
+# Crash-restart drill: checkpoint a tiny multi-rank run every 2 steps,
+# flip a bit in the newest checkpoint's shard (manifest left intact — the
+# silent-corruption case), and require the auto-resume to fall back to the
+# previous good checkpoint and finish cleanly. The resume run's telemetry
+# report must also pass the checkpoint-I/O accounting cross-check.
+ckpt-smoke:
+	rm -rf .ckpt-smoke && mkdir -p .ckpt-smoke
+	$(GO) run ./cmd/dns -nx 16 -ny 17 -nz 16 -steps 4 -pa 2 -pb 2 -ckpt-dir .ckpt-smoke/run.ckpt -ckpt-every 2 > /dev/null
+	$(GO) run ./cmd/ckpt corrupt -dir .ckpt-smoke/run.ckpt
+	$(GO) run ./cmd/ckpt ls -dir .ckpt-smoke/run.ckpt
+	$(GO) run ./cmd/dns -nx 16 -ny 17 -nz 16 -steps 2 -pa 1 -pb 2 -ckpt-dir .ckpt-smoke/run.ckpt -resume -report .ckpt-smoke/BENCH_resume.json > .ckpt-smoke/resume.out
+	grep -q "resumed from step-0000000002" .ckpt-smoke/resume.out
+	$(GO) run ./cmd/bench-validate .ckpt-smoke/BENCH_resume.json
+
 clean:
-	rm -rf .bench-smoke
+	rm -rf .bench-smoke .ckpt-smoke
 	rm -f *.trace.json

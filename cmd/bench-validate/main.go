@@ -60,6 +60,13 @@ func main() {
 			failed++
 			continue
 		}
+		// Runs that did checkpoint I/O must account for it coherently:
+		// phase spans and comm byte records in 1:1 correspondence.
+		if err := r.CheckCheckpointIO(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
 		if !*quiet {
 			sched := 0
 			if r.Schedule != nil {

@@ -1,0 +1,121 @@
+// Command ckpt inspects and drills checkpoint stores written by the dns
+// command (internal/ckpt format):
+//
+//	ckpt ls -dir DIR              list checkpoints with their status
+//	ckpt verify -dir DIR [NAME]   fully verify one or all checkpoints
+//	ckpt corrupt -dir DIR [NAME]  flip a bit in a shard (recovery drill)
+//
+// corrupt damages the newest published checkpoint by default and leaves
+// the manifest intact — exactly the silent-corruption scenario the store's
+// fallback recovery is built for. It is used by the `make smoke` crash-
+// restart drill and is safe to point at a scratch store; do not point it
+// at the only copy of data you care about.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"channeldns/internal/ckpt"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ckpt {ls|verify|corrupt} -dir DIR [options] [NAME]\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("ckpt "+cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint store directory")
+	shard := fs.Int("shard", 0, "corrupt: shard index to damage")
+	trunc := fs.Int64("truncate", -1, "corrupt: truncate the shard to this many bytes instead of flipping a bit")
+	fs.Parse(os.Args[2:])
+	if *dir == "" {
+		usage()
+	}
+	store := ckpt.NewStore(*dir)
+
+	var err error
+	switch cmd {
+	case "ls":
+		err = ls(store)
+	case "verify":
+		err = verify(store, fs.Arg(0))
+	case "corrupt":
+		err = corrupt(store, fs.Arg(0), *shard, *trunc)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func ls(store *ckpt.Store) error {
+	names, err := store.Checkpoints()
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		fmt.Println("no checkpoints")
+		return nil
+	}
+	for _, name := range names {
+		m, err := store.Verify(name)
+		if err != nil {
+			fmt.Printf("%s  INVALID: %v\n", name, err)
+			continue
+		}
+		var bytes int64
+		for _, sh := range m.Shards {
+			bytes += sh.Bytes
+		}
+		fmt.Printf("%s  ok  step=%d t=%.6g dt=%.6g ranks=%d bytes=%d fingerprint=%s\n",
+			name, m.Step, m.Time, m.Dt, m.Ranks, bytes, m.Fingerprint)
+	}
+	return nil
+}
+
+func verify(store *ckpt.Store, name string) error {
+	names := []string{name}
+	if name == "" {
+		var err error
+		if names, err = store.Checkpoints(); err != nil {
+			return err
+		}
+	}
+	bad := 0
+	for _, n := range names {
+		if _, err := store.Verify(n); err != nil {
+			fmt.Printf("%s  INVALID: %v\n", n, err)
+			bad++
+		} else {
+			fmt.Printf("%s  ok\n", n)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d checkpoints invalid", bad, len(names))
+	}
+	return nil
+}
+
+func corrupt(store *ckpt.Store, name string, shard int, trunc int64) error {
+	if name == "" {
+		latest, _, err := store.Latest()
+		if err != nil {
+			return err
+		}
+		name = latest
+	}
+	if err := store.CorruptShard(name, shard, trunc); err != nil {
+		return err
+	}
+	fmt.Printf("corrupted %s shard %d (manifest left intact)\n", name, shard)
+	return nil
+}

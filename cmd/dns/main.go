@@ -8,12 +8,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 
+	"channeldns/internal/ckpt"
 	"channeldns/internal/core"
 	"channeldns/internal/mpi"
 	"channeldns/internal/par"
@@ -37,8 +39,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "perturbation seed")
 		every   = flag.Int("stats-every", 10, "accumulate statistics every N steps (0 = off)")
 		out     = flag.String("out", "", "write final averaged profiles to this file")
-		ckpt    = flag.String("checkpoint", "", "write a restart file at the end (single rank only)")
-		restore = flag.String("restore", "", "restore from a restart file before stepping")
+		ckptDir = flag.String("ckpt-dir", "", "checkpoint store directory: sharded, atomically published restart snapshots (any rank count)")
+		ckptEvr = flag.Int("ckpt-every", 0, "checkpoint into -ckpt-dir every N steps (0 = final checkpoint only)")
+		ckptKp  = flag.Int("ckpt-keep", 3, "rolling retention: keep the newest K checkpoints (0 = keep all)")
+		resume  = flag.Bool("resume", false, "auto-resume from the newest valid checkpoint in -ckpt-dir, falling back past corrupt ones")
+		oldCkpt = flag.String("checkpoint", "", "deprecated alias for -ckpt-dir (restart files are now sharded checkpoint directories and work on any rank count); will be removed next release")
+		oldRest = flag.String("restore", "", "deprecated alias for -ckpt-dir plus -resume; will be removed next release")
 		form    = flag.String("form", "divergence", "nonlinear form: divergence | convective | skew")
 		budget  = flag.Bool("budget", false, "print the TKE budget at the end")
 		spectra = flag.Bool("spectra", false, "print 1-D energy spectra at selected heights")
@@ -48,6 +54,21 @@ func main() {
 		trcCap  = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default)")
 	)
 	flag.Parse()
+
+	// Deprecated restart flags: one release of alias support, loudly.
+	if *oldCkpt != "" {
+		fmt.Fprintln(os.Stderr, "dns: -checkpoint is deprecated, use -ckpt-dir (checkpoints are now sharded directories)")
+		if *ckptDir == "" {
+			*ckptDir = *oldCkpt
+		}
+	}
+	if *oldRest != "" {
+		fmt.Fprintln(os.Stderr, "dns: -restore is deprecated, use -ckpt-dir with -resume")
+		if *ckptDir == "" {
+			*ckptDir = *oldRest
+		}
+		*resume = true
+	}
 
 	cfg := core.Config{
 		Nx: *nx, Ny: *ny, Nz: *nz,
@@ -110,19 +131,50 @@ func main() {
 			}
 			return
 		}
-		if *restore != "" {
-			f, err := os.Open(*restore)
-			if err == nil {
-				err = s.LoadCheckpoint(f)
-				f.Close()
-			}
-			if err != nil {
-				finalErr = fmt.Errorf("restore: %w", err)
+		var store *ckpt.Store
+		if *ckptDir != "" {
+			store = s.NewCheckpointStore(*ckptDir, *ckptKp)
+		}
+		resumed := false
+		if store != nil && *resume {
+			switch name, err := s.ResumeLatest(store); {
+			case err == nil:
+				resumed = true
+				if c.Rank() == 0 {
+					fmt.Printf("resumed from %s (step %d, t=%.6g, dt=%.6g)\n", name, s.Step, s.Time, s.Cfg.Dt)
+				}
+			case errors.Is(err, ckpt.ErrNoCheckpoint):
+				if c.Rank() == 0 {
+					fmt.Printf("no checkpoint in %s; starting fresh\n", *ckptDir)
+				}
+			default:
+				if c.Rank() == 0 {
+					finalErr = fmt.Errorf("resume: %w", err)
+				}
 				return
 			}
-		} else {
+		}
+		if !resumed {
 			s.SetLaminar()
 			s.Perturb(*amp, 2, 2, *seed)
+		}
+		lastCkpt := -1
+		writeCkpt := func() bool {
+			if s.Step == lastCkpt {
+				return true
+			}
+			name, err := s.WriteCheckpoint(store)
+			if err != nil {
+				if c.Rank() == 0 {
+					finalErr = fmt.Errorf("checkpoint: %w", err)
+				}
+				return false
+			}
+			lastCkpt = s.Step
+			if c.Rank() == 0 {
+				fmt.Printf("checkpoint %s written (step %d)\n", name, s.Step)
+			}
+			return true
 		}
 
 		acc := &stats.Accumulator{}
@@ -140,10 +192,16 @@ func main() {
 		report()
 		for i := 1; i <= *steps; i++ {
 			s.AdvanceAdaptive(1, 0.8, 5)
+			if store != nil && *ckptEvr > 0 && i%*ckptEvr == 0 && !writeCkpt() {
+				return
+			}
 			if *every > 0 && i%*every == 0 {
 				acc.Add(stats.Snapshot(s))
 				report()
 			}
+		}
+		if store != nil && !writeCkpt() {
+			return
 		}
 		if acc.Count() == 0 {
 			acc.Add(stats.Snapshot(s))
@@ -205,17 +263,6 @@ func main() {
 				if err := p.Write(f); err != nil {
 					finalErr = err
 				}
-			}
-		}
-		if *ckpt != "" && c.Size() == 1 {
-			f, err := os.Create(*ckpt)
-			if err != nil {
-				finalErr = err
-				return
-			}
-			defer f.Close()
-			if err := s.SaveCheckpoint(f); err != nil {
-				finalErr = err
 			}
 		}
 	})

@@ -1,0 +1,120 @@
+// Package ckpt is the checkpoint/restart subsystem: versioned, sharded,
+// atomically published snapshots of the distributed solver state, and the
+// re-sharded resume path that restores them on any rank count.
+//
+// Production DNS campaigns live and die by restartability — the paper's
+// Re_tau=5200 run spans ~650,000 RK3 steps — so the subsystem treats
+// restart files as first-class artifacts with explicit failure semantics:
+//
+//   - Each rank writes one self-describing binary shard (magic, format
+//     version, config fingerprint, little-endian field payloads, CRC32C
+//     trailer) covering exactly its owned wavenumber window.
+//   - Shards are written to a temporary name, fsynced, then renamed; after
+//     every shard has landed, rank 0 writes a manifest listing each shard
+//     with its checksum, again via temp + fsync + rename. A checkpoint
+//     EXISTS only once its manifest lands — a crash at any earlier point
+//     leaves the previous checkpoint untouched and the torn attempt
+//     invisible to discovery.
+//   - Resume maps each restoring rank's owned wavenumber ranges onto the
+//     manifest's shard ranges and reads exactly the overlapping slices, so
+//     a run checkpointed on P ranks restores bit-identically on any other
+//     rank count.
+//   - A Store owns a directory of checkpoints with rolling retention and
+//     corruption-aware discovery: Latest skips manifests whose shards are
+//     missing, truncated or fail their CRC, falling back to the newest
+//     good checkpoint, and Resume re-verifies at read time.
+//   - Fault injection (torn write at byte N, bit flip, manifest loss) is a
+//     WriteOption layer used by the recovery tests and the `cmd/ckpt
+//     corrupt` drill tool.
+//
+// The package sits below internal/core (which adapts solver state into a
+// State and back) and above internal/mpi (shard writes are collective over
+// the world communicator). Checkpoint I/O is telemetry-visible: every
+// shard or manifest transfer is a PhaseCheckpoint span paired with one
+// CommCheckpoint byte-count record.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FormatVersion is the shard/manifest format generation. Bump it when the
+// binary layout changes incompatibly; readers reject other versions.
+const FormatVersion = 1
+
+// ErrNoCheckpoint is returned by Latest and Resume when the store directory
+// holds no valid checkpoint (empty, missing, or everything corrupt).
+var ErrNoCheckpoint = errors.New("ckpt: no valid checkpoint")
+
+// State is one rank's checkpointable solver state: the spline coefficients
+// of v-hat and omega_y-hat plus the previous-substep nonlinear terms for
+// every locally owned wavenumber, and the mean-flow profiles on the rank
+// that owns the (0,0) mode. The slices alias caller-owned storage in both
+// directions — writes read from them, restores copy INTO them — so the
+// solver's workspace-arena-backed buffers survive a restore.
+type State struct {
+	// Global grid extents and the one-sided x mode count.
+	Nx, Ny, Nz int
+	NKx        int
+
+	// This rank's owned wavenumber window: one-sided kx in [Kxlo, Kxhi),
+	// wrapped kz in [Kzlo, Kzhi).
+	Kxlo, Kxhi, Kzlo, Kzhi int
+
+	// Run position. Dt is carried so an adaptively adjusted time step
+	// survives a restart (required for bit-identical trajectories).
+	Step int64
+	Time float64
+	Dt   float64
+
+	// Fingerprint is a stable hash of the identity-defining configuration
+	// (grid, physics, discretization — NOT the process grid or Dt).
+	// Checkpoints only restore into a matching configuration.
+	Fingerprint uint64
+
+	// Spectral state, indexed [w][iy] with w = (ikx-Kxlo)*(Kzhi-Kzlo) +
+	// (ikz-Kzlo): v-hat and omega_y-hat spline coefficients and the
+	// previous-substep nonlinear terms.
+	CV, CW, HgPrev, HvPrev [][]complex128
+
+	// Mean-flow profiles, present only on the (0,0)-owning rank.
+	HasMean                              bool
+	MeanU, MeanW, MeanHxPrev, MeanHzPrev []float64
+}
+
+// NW returns the local mode count of the window.
+func (st *State) NW() int {
+	return (st.Kxhi - st.Kxlo) * (st.Kzhi - st.Kzlo)
+}
+
+// validate checks the window and slice shapes agree.
+func (st *State) validate() error {
+	if st.Nx <= 0 || st.Ny <= 0 || st.Nz <= 0 || st.NKx <= 0 {
+		return fmt.Errorf("ckpt: bad grid %dx%dx%d (nkx %d)", st.Nx, st.Ny, st.Nz, st.NKx)
+	}
+	if st.Kxlo < 0 || st.Kxhi > st.NKx || st.Kxlo > st.Kxhi ||
+		st.Kzlo < 0 || st.Kzhi > st.Nz || st.Kzlo > st.Kzhi {
+		return fmt.Errorf("ckpt: window kx[%d,%d) kz[%d,%d) outside grid (nkx %d, nz %d)",
+			st.Kxlo, st.Kxhi, st.Kzlo, st.Kzhi, st.NKx, st.Nz)
+	}
+	nw := st.NW()
+	for _, f := range [][][]complex128{st.CV, st.CW, st.HgPrev, st.HvPrev} {
+		if len(f) != nw {
+			return fmt.Errorf("ckpt: field carries %d modes, window owns %d", len(f), nw)
+		}
+		for _, line := range f {
+			if len(line) != st.Ny {
+				return fmt.Errorf("ckpt: mode line length %d, want Ny=%d", len(line), st.Ny)
+			}
+		}
+	}
+	if st.HasMean {
+		for _, m := range [][]float64{st.MeanU, st.MeanW, st.MeanHxPrev, st.MeanHzPrev} {
+			if len(m) != st.Ny {
+				return fmt.Errorf("ckpt: mean profile length %d, want Ny=%d", len(m), st.Ny)
+			}
+		}
+	}
+	return nil
+}

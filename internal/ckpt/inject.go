@@ -1,0 +1,127 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteOption injects a failure into one collective Store.Write. The
+// options model the three corruption classes the recovery tests (and the
+// `cmd/ckpt corrupt` drill tool) exercise: torn shard writes, silent bit
+// rot, and manifest loss. Options compose; a zero-option Write is the
+// production path.
+type WriteOption func(*writePlan)
+
+// writePlan is the resolved injection schedule for one Write.
+type writePlan struct {
+	tornRank, tornKeep int   // truncate published shard to tornKeep bytes
+	flipRank           int   // flip one bit of the published shard...
+	flipByte           int64 // ...at this byte offset
+	crashRank          int   // abort this rank's write mid-shard...
+	crashKeep          int   // ...after crashKeep bytes of the temp file
+	dropManifest       bool  // shards land, manifest never written
+}
+
+func newWritePlan(opts []WriteOption) *writePlan {
+	p := &writePlan{tornRank: -1, flipRank: -1, crashRank: -1}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// TornWrite truncates rank's shard to keepBytes AFTER the checkpoint
+// publishes: the manifest exists and records the full size, but the shard
+// on disk is short — the signature of storage that lied about durability.
+// Write itself succeeds; Verify/Latest must detect and skip the damage.
+func TornWrite(rank, keepBytes int) WriteOption {
+	return func(p *writePlan) { p.tornRank, p.tornKeep = rank, keepBytes }
+}
+
+// BitFlip flips one bit (bit 0 of the byte at byteOff) of rank's shard
+// after the checkpoint publishes: size and header stay plausible, only
+// the CRC32C trailer can convict it.
+func BitFlip(rank int, byteOff int64) WriteOption {
+	return func(p *writePlan) { p.flipRank, p.flipByte = rank, byteOff }
+}
+
+// CrashDuringShard aborts rank's shard write after keepBytes of the
+// temporary file: the temp is never renamed and no manifest is written.
+// Write returns an error on every rank and the checkpoint is invisible —
+// the atomicity guarantee under a mid-write crash.
+func CrashDuringShard(rank, keepBytes int) WriteOption {
+	return func(p *writePlan) { p.crashRank, p.crashKeep = rank, keepBytes }
+}
+
+// DropManifest lets every shard land but suppresses the manifest: a crash
+// in the instant between the last shard rename and publication. Write
+// returns an error and discovery never sees the attempt.
+func DropManifest() WriteOption {
+	return func(p *writePlan) { p.dropManifest = true }
+}
+
+// crashShard writes the truncated temp-file debris a mid-write crash
+// leaves behind.
+func (p *writePlan) crashShard(path string, st *State) error {
+	var buf bytes.Buffer
+	if _, _, err := EncodeShard(&buf, st); err != nil {
+		return err
+	}
+	keep := min(p.crashKeep, buf.Len())
+	return os.WriteFile(path+tmpSuffix, buf.Bytes()[:keep], 0o644)
+}
+
+// corruptPublished applies this rank's post-publication damage, if any.
+func (p *writePlan) corruptPublished(dir string, rank int) error {
+	path := filepath.Join(dir, shardFileName(rank))
+	if p.tornRank == rank {
+		if err := os.Truncate(path, int64(p.tornKeep)); err != nil {
+			return fmt.Errorf("ckpt: injecting torn write: %w", err)
+		}
+	}
+	if p.flipRank == rank {
+		if err := FlipBit(path, p.flipByte); err != nil {
+			return fmt.Errorf("ckpt: injecting bit flip: %w", err)
+		}
+	}
+	return nil
+}
+
+// FlipBit flips bit 0 of the byte at off in the file at path. Offsets are
+// taken modulo the file size so callers can damage "somewhere in the
+// payload" without knowing the exact length. Exposed for tests and the
+// cmd/ckpt corruption drill.
+func FlipBit(path string, off int64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("ckpt: %s is empty, nothing to flip", path)
+	}
+	off %= int64(len(b))
+	if off < 0 {
+		off += int64(len(b))
+	}
+	b[off] ^= 1
+	return os.WriteFile(path, b, 0o644)
+}
+
+// CorruptShard damages one shard of a published checkpoint in place:
+// truncation when keepBytes >= 0, otherwise a bit flip mid-payload. Used
+// by the recovery tests and `cmd/ckpt corrupt` to drill the fallback
+// path. The manifest is left intact — that is the point: discovery must
+// convict the shard by size or CRC, not by a missing manifest.
+func (s *Store) CorruptShard(name string, shard int, keepBytes int64) error {
+	path := filepath.Join(s.dir, name, shardFileName(shard))
+	if keepBytes >= 0 {
+		return os.Truncate(path, keepBytes)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return FlipBit(path, fi.Size()/2)
+}

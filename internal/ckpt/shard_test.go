@@ -1,0 +1,330 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fill gives every (field, ikx, ikz, iy) sample a unique deterministic
+// value so misplaced lines are detected, not just missing ones.
+func sample(field, ikx, ikz, iy int) complex128 {
+	return complex(float64(1+field)*1000+float64(ikx)*100+float64(ikz)*10+float64(iy),
+		-float64(field)-float64(ikx*ikz*iy)/7)
+}
+
+// makeState builds a State for the window with every buffer filled from
+// sample. hasMean attaches mean profiles filled from sample(9, ...).
+func makeState(ny int, kxlo, kxhi, kzlo, kzhi int, hasMean bool) *State {
+	st := &State{
+		Nx: 16, Ny: ny, Nz: 6, NKx: 8,
+		Kxlo: kxlo, Kxhi: kxhi, Kzlo: kzlo, Kzhi: kzhi,
+		Step: 40, Time: 1.25, Dt: 0.003,
+		Fingerprint: 0xfeedbeefcafe0001,
+		HasMean:     hasMean,
+	}
+	nkz := kzhi - kzlo
+	alloc := func(field int) [][]complex128 {
+		f := make([][]complex128, st.NW())
+		for w := range f {
+			ikx := kxlo + w/nkz
+			ikz := kzlo + w%nkz
+			line := make([]complex128, ny)
+			for iy := range line {
+				line[iy] = sample(field, ikx, ikz, iy)
+			}
+			f[w] = line
+		}
+		return f
+	}
+	st.CV, st.CW, st.HgPrev, st.HvPrev = alloc(0), alloc(1), alloc(2), alloc(3)
+	if hasMean {
+		profile := func(which int) []float64 {
+			p := make([]float64, ny)
+			for iy := range p {
+				p[iy] = real(sample(9, which, 0, iy))
+			}
+			return p
+		}
+		st.MeanU, st.MeanW = profile(0), profile(1)
+		st.MeanHxPrev, st.MeanHzPrev = profile(2), profile(3)
+	}
+	return st
+}
+
+// emptyLike returns a zero-filled State with the same shape and identity.
+func emptyLike(src *State, kxlo, kxhi, kzlo, kzhi int, hasMean bool) *State {
+	st := &State{
+		Nx: src.Nx, Ny: src.Ny, Nz: src.Nz, NKx: src.NKx,
+		Kxlo: kxlo, Kxhi: kxhi, Kzlo: kzlo, Kzhi: kzhi,
+		Fingerprint: src.Fingerprint,
+		HasMean:     hasMean,
+	}
+	alloc := func() [][]complex128 {
+		f := make([][]complex128, st.NW())
+		for w := range f {
+			f[w] = make([]complex128, st.Ny)
+		}
+		return f
+	}
+	st.CV, st.CW, st.HgPrev, st.HvPrev = alloc(), alloc(), alloc(), alloc()
+	if hasMean {
+		st.MeanU = make([]float64, st.Ny)
+		st.MeanW = make([]float64, st.Ny)
+		st.MeanHxPrev = make([]float64, st.Ny)
+		st.MeanHzPrev = make([]float64, st.Ny)
+	}
+	return st
+}
+
+// checkWindow verifies every sample of st's window matches the generator.
+func checkWindow(t *testing.T, st *State) {
+	t.Helper()
+	nkz := st.Kzhi - st.Kzlo
+	for f, field := range [][][]complex128{st.CV, st.CW, st.HgPrev, st.HvPrev} {
+		for w, line := range field {
+			ikx := st.Kxlo + w/nkz
+			ikz := st.Kzlo + w%nkz
+			for iy, got := range line {
+				if want := sample(f, ikx, ikz, iy); got != want {
+					t.Fatalf("field %d mode (%d,%d) iy=%d: got %v, want %v", f, ikx, ikz, iy, got, want)
+				}
+			}
+		}
+	}
+	if st.HasMean {
+		for which, p := range [][]float64{st.MeanU, st.MeanW, st.MeanHxPrev, st.MeanHzPrev} {
+			for iy, got := range p {
+				if want := real(sample(9, which, 0, iy)); got != want {
+					t.Fatalf("mean %d iy=%d: got %v, want %v", which, iy, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	src := makeState(5, 0, 8, 0, 6, true)
+	var buf bytes.Buffer
+	n, crc, err := EncodeShard(&buf, src)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if want := shardSize(src.NW(), src.Ny, true); n != want {
+		t.Fatalf("encoded %d bytes, want %d", n, want)
+	}
+	if crc == 0 {
+		t.Fatal("CRC is zero (suspicious)")
+	}
+	dst := emptyLike(src, 0, 8, 0, 6, true)
+	if err := DecodeShard(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	checkWindow(t, dst)
+	if dst.Step != src.Step || dst.Time != src.Time || dst.Dt != src.Dt {
+		t.Fatalf("run position not restored: got step=%d t=%v dt=%v", dst.Step, dst.Time, dst.Dt)
+	}
+}
+
+func TestShardEncodingIsDeterministic(t *testing.T) {
+	src := makeState(5, 2, 6, 1, 4, false)
+	var a, b bytes.Buffer
+	if _, _, err := EncodeShard(&a, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EncodeShard(&b, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same state differ")
+	}
+}
+
+func TestShardDetectsCorruption(t *testing.T) {
+	src := makeState(5, 0, 4, 0, 6, true)
+	var buf bytes.Buffer
+	if _, _, err := EncodeShard(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		errWant string
+	}{
+		{"bit flip in payload", func(b []byte) []byte {
+			b[len(b)/2] ^= 1
+			return b
+		}, "CRC32C mismatch"},
+		{"bit flip in header", func(b []byte) []byte {
+			b[61] ^= 0x80 // time field: header stays parseable, CRC convicts
+			return b
+		}, "CRC32C mismatch"},
+		{"truncated mid-payload", func(b []byte) []byte {
+			return b[:len(b)-100]
+		}, "bytes, header implies"},
+		{"truncated inside header", func(b []byte) []byte {
+			return b[:40]
+		}, "truncated"},
+		{"wrong magic", func(b []byte) []byte {
+			copy(b, "NOTCKPT!")
+			return b
+		}, "bad shard magic"},
+		{"future format version", func(b []byte) []byte {
+			b[8] = 0xff
+			return b
+		}, "format version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			_, err := parseShard(b)
+			if err == nil {
+				t.Fatal("corrupt shard parsed without error")
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("error %q does not mention %q", err, tc.errWant)
+			}
+		})
+	}
+}
+
+func TestDecodeShardRejectsMismatch(t *testing.T) {
+	src := makeState(5, 0, 4, 0, 6, false)
+	var buf bytes.Buffer
+	if _, _, err := EncodeShard(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*State)
+	}{
+		{"fingerprint", func(st *State) { st.Fingerprint++ }},
+		{"grid", func(st *State) { st.Nx = 32; st.NKx = 16 }},
+		{"mean presence", func(st *State) {
+			st.HasMean = true
+			st.MeanU = make([]float64, st.Ny)
+			st.MeanW = make([]float64, st.Ny)
+			st.MeanHxPrev = make([]float64, st.Ny)
+			st.MeanHzPrev = make([]float64, st.Ny)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := emptyLike(src, 0, 4, 0, 6, false)
+			tc.mutate(dst)
+			if err := DecodeShard(bytes.NewReader(buf.Bytes()), dst); err == nil {
+				t.Fatal("mismatched decode succeeded")
+			}
+		})
+	}
+	t.Run("window", func(t *testing.T) {
+		dst := emptyLike(src, 0, 2, 0, 6, false)
+		if err := DecodeShard(bytes.NewReader(buf.Bytes()), dst); err == nil {
+			t.Fatal("window-mismatched decode succeeded (DecodeShard must be exact; re-shard via Store)")
+		}
+	})
+}
+
+// TestCopyOverlapReShard splits a window into shards along one axis and
+// reassembles them into windows split along the other axis — the core of
+// the re-sharded resume path, without the store machinery.
+func TestCopyOverlapReShard(t *testing.T) {
+	// Source: 2 shards split in kx. Destination: 3 windows split in kz.
+	shards := [][]byte{}
+	for _, w := range [][4]int{{0, 4, 0, 6}, {4, 8, 0, 6}} {
+		src := makeState(5, w[0], w[1], w[2], w[3], w[0] == 0)
+		var buf bytes.Buffer
+		if _, _, err := EncodeShard(&buf, src); err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, buf.Bytes())
+	}
+	full := makeState(5, 0, 8, 0, 6, true)
+	for i, w := range [][4]int{{0, 8, 0, 2}, {0, 8, 2, 4}, {0, 8, 4, 6}} {
+		dst := emptyLike(full, w[0], w[1], w[2], w[3], i == 0)
+		for _, sb := range shards {
+			h, err := parseShard(sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copyOverlap(sb, h, dst)
+		}
+		checkWindow(t, dst)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	mk := func() *Manifest {
+		return &Manifest{
+			Format: FormatVersion, Fingerprint: fingerprintString(1),
+			Nx: 16, Ny: 5, Nz: 6, NKx: 8, Step: 10, Ranks: 2,
+			Shards: []ShardInfo{
+				{File: "shard-0000.ckpt", Kxlo: 0, Kxhi: 4, Kzlo: 0, Kzhi: 6, HasMean: true, Bytes: 1, CRC32C: "0"},
+				{File: "shard-0001.ckpt", Kxlo: 4, Kxhi: 8, Kzlo: 0, Kzhi: 6, Bytes: 1, CRC32C: "0"},
+			},
+		}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"future format", func(m *Manifest) { m.Format = 99 }},
+		{"rank count mismatch", func(m *Manifest) { m.Ranks = 3 }},
+		{"gap in coverage", func(m *Manifest) { m.Shards[1].Kxlo = 5 }},
+		{"overlapping windows", func(m *Manifest) { m.Shards[1].Kxlo = 3 }},
+		{"no mean shard", func(m *Manifest) { m.Shards[0].HasMean = false }},
+		{"two mean shards", func(m *Manifest) { m.Shards[1].HasMean = true }},
+		{"escaping file name", func(m *Manifest) { m.Shards[0].File = "../evil" }},
+		{"window outside grid", func(m *Manifest) { m.Shards[1].Kxhi = 9 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mk()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("invalid manifest accepted")
+			}
+		})
+	}
+}
+
+func TestShardSizeFormula(t *testing.T) {
+	// Keep the documented layout honest: header + fields + mean + CRC.
+	for _, tc := range []struct {
+		nw, ny  int
+		hasMean bool
+		want    int64
+	}{
+		{1, 1, false, 80 + 4*16 + 4},
+		{1, 1, true, 80 + 4*16 + 4*8 + 4},
+		{6, 5, true, 80 + 4*6*5*16 + 4*5*8 + 4},
+	} {
+		if got := shardSize(tc.nw, tc.ny, tc.hasMean); got != tc.want {
+			t.Errorf("shardSize(%d,%d,%v) = %d, want %d", tc.nw, tc.ny, tc.hasMean, got, tc.want)
+		}
+	}
+}
+
+func TestCheckpointNameRoundTrip(t *testing.T) {
+	for _, step := range []int64{0, 7, 123456789} {
+		name := checkpointName(step)
+		got, ok := stepOfName(name)
+		if !ok || got != step {
+			t.Errorf("stepOfName(%q) = %d,%v, want %d,true", name, got, ok, step)
+		}
+	}
+	for _, bad := range []string{"foo", "step-", "step-xyz", "ckpt-12"} {
+		if _, ok := stepOfName(bad); ok {
+			t.Errorf("stepOfName(%q) accepted", bad)
+		}
+	}
+	if name := checkpointName(40); name != fmt.Sprintf("step-%010d", 40) {
+		t.Errorf("unexpected name %q", name)
+	}
+}

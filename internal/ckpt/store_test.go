@@ -1,0 +1,284 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"channeldns/internal/mpi"
+	"channeldns/internal/telemetry"
+)
+
+// chunk is the contiguous block decomposition the pencil layer uses.
+func chunk(n, p, r int) (lo, hi int) { return r * n / p, (r + 1) * n / p }
+
+// rankState builds rank r's kx-sliced window of the canonical test state
+// (grid 16x5x6, NKx=8) with the mean profiles on rank 0.
+func rankState(p, r int, step int64) *State {
+	lo, hi := chunk(8, p, r)
+	st := makeState(5, lo, hi, 0, 6, r == 0)
+	st.Step = step
+	st.Time = float64(step) * 0.003
+	return st
+}
+
+// blankRankState is rankState with zeroed buffers, ready to restore into.
+func blankRankState(p, r int) *State {
+	full := makeState(5, 0, 8, 0, 6, true)
+	lo, hi := chunk(8, p, r)
+	return emptyLike(full, lo, hi, 0, 6, r == 0)
+}
+
+// writeCheckpoint runs one collective Write at size p.
+func writeCheckpoint(t *testing.T, s *Store, p int, step int64, opts ...WriteOption) (string, error) {
+	t.Helper()
+	var name string
+	var werr error
+	mpi.Run(p, func(c *mpi.Comm) {
+		n, err := s.Write(c, rankState(p, c.Rank(), step), opts...)
+		if c.Rank() == 0 {
+			name, werr = n, err
+		}
+	})
+	return name, werr
+}
+
+func TestStoreWriteRestoreReShard(t *testing.T) {
+	s := NewStore(t.TempDir())
+	name, err := writeCheckpoint(t, s, 4, 40)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if name != checkpointName(40) {
+		t.Fatalf("checkpoint named %q, want %q", name, checkpointName(40))
+	}
+	// A P=4 checkpoint must restore bit-identically on 1, 2, 4 and 8 ranks.
+	for _, p := range []int{1, 2, 4, 8} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			dst := blankRankState(p, c.Rank())
+			if err := s.Restore(c, name, dst); err != nil {
+				t.Errorf("P=%d rank %d: restore: %v", p, c.Rank(), err)
+				return
+			}
+			checkWindow(t, dst)
+			if dst.Step != 40 || dst.Time != 40*0.003 || dst.Dt != 0.003 {
+				t.Errorf("P=%d rank %d: run position step=%d t=%v dt=%v", p, c.Rank(), dst.Step, dst.Time, dst.Dt)
+			}
+		})
+	}
+}
+
+func TestStoreResumePicksNewest(t *testing.T) {
+	s := NewStore(t.TempDir())
+	for _, step := range []int64{10, 20, 30} {
+		if _, err := writeCheckpoint(t, s, 2, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mpi.Run(2, func(c *mpi.Comm) {
+		dst := blankRankState(2, c.Rank())
+		name, err := s.Resume(c, dst)
+		if err != nil {
+			t.Errorf("rank %d: resume: %v", c.Rank(), err)
+			return
+		}
+		if name != checkpointName(30) || dst.Step != 30 {
+			t.Errorf("rank %d: resumed %q step %d, want newest step 30", c.Rank(), name, dst.Step)
+		}
+	})
+}
+
+func TestStoreRetention(t *testing.T) {
+	s := NewStore(t.TempDir(), WithRetention(2))
+	for _, step := range []int64{10, 20, 30, 40} {
+		if _, err := writeCheckpoint(t, s, 1, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != checkpointName(40) || names[1] != checkpointName(30) {
+		t.Fatalf("after 4 writes with keep=2, store holds %v", names)
+	}
+}
+
+func TestStoreCorruptionFallback(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []WriteOption
+	}{
+		{"torn write", []WriteOption{TornWrite(1, 100)}},
+		{"torn to zero bytes", []WriteOption{TornWrite(0, 0)}},
+		{"bit flip", []WriteOption{BitFlip(1, 500)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore(t.TempDir())
+			if _, err := writeCheckpoint(t, s, 2, 10); err != nil {
+				t.Fatal(err)
+			}
+			// The newest checkpoint publishes, then its shard rots on disk.
+			if _, err := writeCheckpoint(t, s, 2, 20, tc.opts...); err != nil {
+				t.Fatalf("post-publication corruption must not fail the write: %v", err)
+			}
+			name, m, err := s.Latest()
+			if err != nil {
+				t.Fatalf("latest: %v", err)
+			}
+			if name != checkpointName(10) || m.Step != 10 {
+				t.Fatalf("Latest picked %q (step %d), want fallback to step 10", name, m.Step)
+			}
+			mpi.Run(2, func(c *mpi.Comm) {
+				dst := blankRankState(2, c.Rank())
+				got, err := s.Resume(c, dst)
+				if err != nil {
+					t.Errorf("rank %d: resume: %v", c.Rank(), err)
+					return
+				}
+				if got != checkpointName(10) || dst.Step != 10 {
+					t.Errorf("rank %d: resumed %q step %d, want step 10", c.Rank(), got, dst.Step)
+					return
+				}
+				checkWindow(t, dst)
+			})
+		})
+	}
+}
+
+func TestStoreAtomicity(t *testing.T) {
+	t.Run("manifest loss hides the attempt", func(t *testing.T) {
+		s := NewStore(t.TempDir())
+		if _, err := writeCheckpoint(t, s, 2, 10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeCheckpoint(t, s, 2, 20, DropManifest()); err == nil {
+			t.Fatal("injected manifest loss reported success")
+		}
+		// Shards landed but without a manifest the checkpoint must not exist.
+		if _, err := os.Stat(filepath.Join(s.Dir(), checkpointName(20), shardFileName(0))); err != nil {
+			t.Fatalf("shard should have landed: %v", err)
+		}
+		name, _, err := s.Latest()
+		if err != nil || name != checkpointName(10) {
+			t.Fatalf("Latest = %q, %v; want the previous checkpoint", name, err)
+		}
+	})
+	t.Run("crash during shard write", func(t *testing.T) {
+		s := NewStore(t.TempDir())
+		if _, err := writeCheckpoint(t, s, 2, 10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeCheckpoint(t, s, 2, 20, CrashDuringShard(1, 64)); err == nil {
+			t.Fatal("injected crash reported success")
+		}
+		dir := filepath.Join(s.Dir(), checkpointName(20))
+		if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+			t.Fatalf("crashed attempt has a manifest (err=%v)", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, shardFileName(1))); !os.IsNotExist(err) {
+			t.Fatalf("crashed rank's temp file was renamed into place (err=%v)", err)
+		}
+		name, _, err := s.Latest()
+		if err != nil || name != checkpointName(10) {
+			t.Fatalf("Latest = %q, %v; want the previous checkpoint", name, err)
+		}
+		// The next successful write sweeps the stale attempt.
+		if _, err := writeCheckpoint(t, s, 2, 30); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Fatalf("stale torn attempt survived the next write (err=%v)", err)
+		}
+	})
+}
+
+func TestStoreEverythingCorruptIsErrNoCheckpoint(t *testing.T) {
+	s := NewStore(t.TempDir())
+	if _, err := writeCheckpoint(t, s, 2, 10, BitFlip(0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on all-corrupt store: %v, want ErrNoCheckpoint", err)
+	}
+	mpi.Run(2, func(c *mpi.Comm) {
+		dst := blankRankState(2, c.Rank())
+		if _, err := s.Resume(c, dst); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("rank %d: resume on all-corrupt store: %v, want ErrNoCheckpoint", c.Rank(), err)
+		}
+	})
+}
+
+func TestStoreResumeEmpty(t *testing.T) {
+	s := NewStore(filepath.Join(t.TempDir(), "never-created"))
+	mpi.Run(1, func(c *mpi.Comm) {
+		dst := blankRankState(1, c.Rank())
+		if _, err := s.Resume(c, dst); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("resume on empty store: %v, want ErrNoCheckpoint", err)
+		}
+	})
+}
+
+func TestStoreRejectsForeignFingerprint(t *testing.T) {
+	s := NewStore(t.TempDir())
+	name, err := writeCheckpoint(t, s, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi.Run(1, func(c *mpi.Comm) {
+		dst := blankRankState(1, 0)
+		dst.Fingerprint++ // a different physical configuration
+		if err := s.Restore(c, name, dst); err == nil {
+			t.Error("restore into a foreign configuration succeeded")
+		}
+		if _, err := s.Resume(c, dst); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("resume into a foreign configuration: %v, want ErrNoCheckpoint", err)
+		}
+	})
+}
+
+func TestStoreTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewStore(dir, WithTelemetry(reg.Rank(c.Rank())))
+		if _, err := s.Write(c, rankState(2, c.Rank(), 10)); err != nil {
+			t.Errorf("rank %d: write: %v", c.Rank(), err)
+			return
+		}
+		dst := blankRankState(2, c.Rank())
+		if _, err := s.Resume(c, dst); err != nil {
+			t.Errorf("rank %d: resume: %v", c.Rank(), err)
+		}
+	})
+	for r := 0; r < 2; r++ {
+		col := reg.Rank(r)
+		spans := col.PhaseCalls(telemetry.PhaseCheckpoint)
+		calls, msgs, bytes := col.CommCounts(telemetry.CommCheckpoint)
+		if spans == 0 || bytes == 0 {
+			t.Errorf("rank %d: checkpoint I/O invisible to telemetry (spans=%d bytes=%d)", r, spans, bytes)
+		}
+		if calls != spans || msgs != calls {
+			t.Errorf("rank %d: %d spans vs %d comm records (want 1:1)", r, spans, calls)
+		}
+	}
+}
+
+func TestStoreCorruptShardHelper(t *testing.T) {
+	s := NewStore(t.TempDir())
+	name, err := writeCheckpoint(t, s, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(name); err != nil {
+		t.Fatalf("fresh checkpoint fails verify: %v", err)
+	}
+	if err := s.CorruptShard(name, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(name); err == nil {
+		t.Fatal("bit-flipped checkpoint passes verify")
+	}
+}

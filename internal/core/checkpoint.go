@@ -1,71 +1,148 @@
 package core
 
 import (
-	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
+
+	"channeldns/internal/ckpt"
 )
 
 // Checkpointing: the spectral state (spline coefficients of v-hat and
-// omega_y-hat plus the mean profiles) fully determines a run, so restart
-// files carry exactly that, per rank. Production DNS campaigns live and die
-// by restartability (the paper's run spans 650,000 steps).
+// omega_y-hat plus the previous-substep nonlinear terms and the mean
+// profiles) fully determines a run, so restart files carry exactly that,
+// per rank. Production DNS campaigns live and die by restartability (the
+// paper's run spans 650,000 steps). The heavy lifting — the versioned
+// binary shard format, atomic sharded stores, re-sharded resume and
+// corruption recovery — lives in internal/ckpt; this file adapts Solver
+// state into a ckpt.State view and back.
 
-// checkpointState is the serialized form of one rank's state.
-type checkpointState struct {
-	Nx, Ny, Nz     int
-	Kxlo, Kzlo     int
-	Time           float64
-	Step           int
-	CV, CW         [][]complex128
-	MeanU, MeanW   []float64
-	HgPrev, HvPrev [][]complex128
-	MeanHxPrev     []float64
-	MeanHzPrev     []float64
+// Fingerprint is a stable hash of the identity-defining configuration:
+// the grid, domain, physics and discretization choices that determine
+// whether two runs compute the same trajectory. The process grid (PA, PB),
+// worker pool, Dt (adaptive runs change it mid-flight) and instrumentation
+// hooks are deliberately excluded — a checkpoint moves freely across those.
+func (c Config) Fingerprint() uint64 {
+	c.fillDefaults()
+	h := fnv.New64a()
+	u := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	f := func(v float64) { u(math.Float64bits(v)) }
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+	u(uint64(c.Nx))
+	u(uint64(c.Ny))
+	u(uint64(c.Nz))
+	f(c.Lx)
+	f(c.Lz)
+	f(c.ReTau)
+	u(uint64(c.Degree))
+	f(c.Stretch)
+	b(c.DisableNonlinear)
+	f(c.Forcing)
+	u(uint64(c.Nonlinear))
+	b(c.UseGeneralSolver)
+	return h.Sum64()
 }
 
-// SaveCheckpoint writes this rank's state. Each rank writes its own stream
-// (callers typically open one file per rank).
-func (s *Solver) SaveCheckpoint(w io.Writer) error {
-	st := checkpointState{
-		Nx: s.Cfg.Nx, Ny: s.Cfg.Ny, Nz: s.Cfg.Nz,
-		Kxlo: s.kxlo, Kzlo: s.kzlo,
-		Time: s.Time, Step: s.Step,
-		CV: s.cv, CW: s.cw,
-		MeanU: s.meanU, MeanW: s.meanW,
-		HgPrev: s.hgPrev, HvPrev: s.hvPrev,
+// CheckpointState returns this rank's state as a ckpt.State whose slices
+// ALIAS the solver's buffers: writing a checkpoint reads them in place,
+// and restoring through it copies decoded values back into the same
+// workspace-arena-backed storage (no buffer identity changes, so the
+// steady-state allocation discipline survives a restore).
+func (s *Solver) CheckpointState() *ckpt.State {
+	return &ckpt.State{
+		Nx: s.Cfg.Nx, Ny: s.Cfg.Ny, Nz: s.Cfg.Nz, NKx: s.G.NKx(),
+		Kxlo: s.kxlo, Kxhi: s.kxhi, Kzlo: s.kzlo, Kzhi: s.kzhi,
+		Step: int64(s.Step), Time: s.Time, Dt: s.Cfg.Dt,
+		Fingerprint: s.Cfg.Fingerprint(),
+		CV:          s.cv, CW: s.cw, HgPrev: s.hgPrev, HvPrev: s.hvPrev,
+		HasMean: s.ownsMean,
+		MeanU:   s.meanU, MeanW: s.meanW,
 		MeanHxPrev: s.meanHxPrev, MeanHzPrev: s.meanHzPrev,
 	}
-	return gob.NewEncoder(w).Encode(&st)
+}
+
+// applyRestored adopts a restored run position: clock, step count and the
+// (possibly adaptively adjusted) time step. The per-wavenumber operator
+// cache rebuilds lazily on the next step if Dt changed, and the cached
+// physical-space maxima are stale by definition.
+func (s *Solver) applyRestored(st *ckpt.State) {
+	s.Time, s.Step = st.Time, int(st.Step)
+	s.Cfg.Dt = st.Dt
+	s.physMaxCurrent = false
+}
+
+// NewCheckpointStore builds this rank's handle on a checkpoint directory,
+// wired to the solver's telemetry collector so checkpoint I/O shows up as
+// the checkpoint_io phase. keep is the rolling retention count (<= 0
+// keeps everything). Every rank must use the same directory.
+func (s *Solver) NewCheckpointStore(dir string, keep int) *ckpt.Store {
+	return ckpt.NewStore(dir, ckpt.WithRetention(keep), ckpt.WithTelemetry(s.tel))
+}
+
+// WriteCheckpoint collectively publishes one checkpoint of the current
+// state to the store. Every rank must call it at the same step. Returns
+// the checkpoint name.
+func (s *Solver) WriteCheckpoint(store *ckpt.Store, opts ...ckpt.WriteOption) (string, error) {
+	return store.Write(s.D.Cart.Comm, s.CheckpointState(), opts...)
+}
+
+// RestoreCheckpoint collectively restores the named checkpoint, re-sharding
+// as needed: the checkpoint may have been written on any rank count.
+func (s *Solver) RestoreCheckpoint(store *ckpt.Store, name string) error {
+	st := s.CheckpointState()
+	if err := store.Restore(s.D.Cart.Comm, name, st); err != nil {
+		return err
+	}
+	s.applyRestored(st)
+	return nil
+}
+
+// ResumeLatest collectively restores the newest valid checkpoint in the
+// store, falling back past corrupt ones. Returns the name restored from,
+// or ckpt.ErrNoCheckpoint when the store holds nothing usable.
+func (s *Solver) ResumeLatest(store *ckpt.Store) (string, error) {
+	st := s.CheckpointState()
+	name, err := store.Resume(s.D.Cart.Comm, st)
+	if err != nil {
+		return "", err
+	}
+	s.applyRestored(st)
+	return name, nil
+}
+
+// SaveCheckpoint writes this rank's state as one self-describing shard in
+// the internal/ckpt binary format (each rank writes its own stream;
+// callers typically open one file per rank). Kept for single-stream
+// callers; production runs should use WriteCheckpoint, which adds atomic
+// publication, manifests and retention.
+func (s *Solver) SaveCheckpoint(w io.Writer) error {
+	_, _, err := ckpt.EncodeShard(w, s.CheckpointState())
+	return err
 }
 
 // LoadCheckpoint restores this rank's state from a stream written by
-// SaveCheckpoint with a matching configuration and decomposition.
+// SaveCheckpoint with a matching configuration and decomposition. The
+// decoded values are copied into the solver's existing buffers (the
+// buffers' identity is preserved). For restoring onto a different rank
+// count, use RestoreCheckpoint.
 func (s *Solver) LoadCheckpoint(r io.Reader) error {
-	var st checkpointState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("core: decoding checkpoint: %w", err)
+	st := s.CheckpointState()
+	if err := ckpt.DecodeShard(r, st); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
-	if st.Nx != s.Cfg.Nx || st.Ny != s.Cfg.Ny || st.Nz != s.Cfg.Nz {
-		return fmt.Errorf("core: checkpoint grid %dx%dx%d does not match solver %dx%dx%d",
-			st.Nx, st.Ny, st.Nz, s.Cfg.Nx, s.Cfg.Ny, s.Cfg.Nz)
-	}
-	if st.Kxlo != s.kxlo || st.Kzlo != s.kzlo {
-		return fmt.Errorf("core: checkpoint decomposition mismatch (kxlo %d vs %d, kzlo %d vs %d)",
-			st.Kxlo, s.kxlo, st.Kzlo, s.kzlo)
-	}
-	if len(st.CV) != s.nw {
-		return fmt.Errorf("core: checkpoint carries %d modes, solver owns %d", len(st.CV), s.nw)
-	}
-	s.cv, s.cw = st.CV, st.CW
-	s.hgPrev, s.hvPrev = st.HgPrev, st.HvPrev
-	if s.ownsMean {
-		if st.MeanU == nil {
-			return fmt.Errorf("core: checkpoint missing mean profiles")
-		}
-		s.meanU, s.meanW = st.MeanU, st.MeanW
-		s.meanHxPrev, s.meanHzPrev = st.MeanHxPrev, st.MeanHzPrev
-	}
-	s.Time, s.Step = st.Time, st.Step
+	s.applyRestored(st)
 	return nil
 }

@@ -52,6 +52,11 @@ const (
 	// PhaseCollective: barriers, reductions, broadcasts and gathers outside
 	// the transpose path (CFL reductions, statistics collectives).
 	PhaseCollective
+	// PhaseCheckpoint: checkpoint/restart I/O — shard encode + write +
+	// fsync + rename and shard read + verify + decode (internal/ckpt).
+	// Not part of the RK3 step proper, so it never appears in a schedule's
+	// op list; it exists so restart traffic is first-class in reports.
+	PhaseCheckpoint
 	// NumPhases is the number of phases (array extent, not a phase).
 	NumPhases
 )
@@ -59,7 +64,7 @@ const (
 // PhaseNames holds the canonical snake_case report names, indexed by Phase.
 var PhaseNames = [NumPhases]string{
 	"nonlinear", "fft_forward", "fft_inverse", "transpose",
-	"viscous_solve", "pressure", "collective",
+	"viscous_solve", "pressure", "collective", "checkpoint_io",
 }
 
 // String returns the snake_case phase name used in reports.

@@ -385,6 +385,43 @@ func (r *Report) CheckScheduleConsistency() error {
 	return nil
 }
 
+// CheckCheckpointIO cross-checks the checkpoint-I/O accounting: every span
+// internal/ckpt opens around a shard or manifest transfer credits exactly
+// one comm record on the checkpoint channel, so a report that carries the
+// checkpoint phase must carry the matching comm channel with equal call
+// counts and a positive byte total (and vice versa). Reports of runs that
+// never checkpointed carry neither and pass.
+func (r *Report) CheckCheckpointIO() error {
+	name := schedule.PhaseCheckpoint.String()
+	var ph *PhaseStats
+	for i := range r.Phases {
+		if r.Phases[i].Phase == name {
+			ph = &r.Phases[i]
+		}
+	}
+	var cm *CommStats
+	for i := range r.Comm {
+		if r.Comm[i].Op == name {
+			cm = &r.Comm[i]
+		}
+	}
+	switch {
+	case ph == nil && cm == nil:
+		return nil
+	case ph == nil:
+		return fmt.Errorf("checkpoint: comm channel present without the %s phase", name)
+	case cm == nil:
+		return fmt.Errorf("checkpoint: %s phase present without its comm channel", name)
+	}
+	if cm.Bytes <= 0 {
+		return fmt.Errorf("checkpoint: %d spans moved %d bytes", ph.Calls, cm.Bytes)
+	}
+	if cm.Calls != ph.Calls {
+		return fmt.Errorf("checkpoint: %d comm records for %d spans (want 1:1)", cm.Calls, ph.Calls)
+	}
+	return nil
+}
+
 // ValidateJSON parses raw as a Report and validates it.
 func ValidateJSON(raw []byte) (*Report, error) {
 	var r Report

@@ -28,6 +28,7 @@ func TestTaxonomyMatchesSchedule(t *testing.T) {
 		CommYtoZ: schedule.DirYtoZ, CommZtoY: schedule.DirZtoY,
 		CommZtoX: schedule.DirZtoX, CommXtoZ: schedule.DirXtoZ,
 		CommCollective: schedule.PhaseCollective.String(),
+		CommCheckpoint: schedule.PhaseCheckpoint.String(),
 	}
 	for op, want := range dirs {
 		if op.String() != want {

@@ -50,6 +50,7 @@ const (
 	PhaseViscousSolve = schedule.PhaseViscousSolve
 	PhasePressure     = schedule.PhasePressure
 	PhaseCollective   = schedule.PhaseCollective
+	PhaseCheckpoint   = schedule.PhaseCheckpoint
 	// NumPhases is the number of phases (array extent, not a phase).
 	NumPhases = schedule.NumPhases
 )
@@ -68,15 +69,17 @@ const (
 	CommZtoX                     // z-pencils -> x-pencils (CommA)
 	CommXtoZ                     // x-pencils -> z-pencils (CommA)
 	CommCollective               // barriers, reductions, broadcasts, gathers
+	CommCheckpoint               // checkpoint shard/manifest bytes (internal/ckpt)
 	NumCommOps
 )
 
 // Channel names: the four schedule transpose directions (the paper's
-// labels) plus the catch-all collective channel, sourced from the schedule
-// vocabulary so comm tables and schedule blocks agree byte-for-byte.
+// labels) plus the catch-all collective channel and the checkpoint-I/O
+// channel, sourced from the schedule vocabulary so comm tables and
+// schedule blocks agree byte-for-byte.
 var commOpNames = [NumCommOps]string{
 	schedule.DirYtoZ, schedule.DirZtoY, schedule.DirZtoX, schedule.DirXtoZ,
-	schedule.PhaseCollective.String(),
+	schedule.PhaseCollective.String(), schedule.PhaseCheckpoint.String(),
 }
 
 // String returns the channel name used in reports (matching the paper's
