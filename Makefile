@@ -20,6 +20,7 @@ test:
 
 race:
 	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace channeldns/internal/ckpt
+	$(GO) test -race -run 'Overlap' channeldns/internal/core
 
 # Paper-table benchmarks with allocation reporting; see README
 # "Performance notes" for how to read the allocs/op columns.
@@ -38,10 +39,12 @@ bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	$(GO) run ./cmd/bench-solver -n 128 -reps 1 -json .bench-smoke/BENCH_table1.json > /dev/null
 	$(GO) run ./cmd/bench-node -json .bench-smoke/BENCH_table2_3_4.json > /dev/null
-	$(GO) run ./cmd/bench-comm -json .bench-smoke/BENCH_table5.json > /dev/null
-	$(GO) run ./cmd/bench-fft -json .bench-smoke/BENCH_table6.json > /dev/null
+	$(GO) run ./cmd/bench-comm -overlap -json .bench-smoke/BENCH_table5.json > /dev/null
+	$(GO) run ./cmd/bench-fft -overlap -json .bench-smoke/BENCH_table6.json > /dev/null
 	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9.json -trace .bench-smoke/table9.trace.json > /dev/null
+	$(GO) run ./cmd/bench-timestep -overlap -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9_overlap.json -trace .bench-smoke/table9_overlap.trace.json > /dev/null
 	$(GO) run ./cmd/dns -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -trace .bench-smoke/dns.trace.json -report .bench-smoke/BENCH_dns.json > /dev/null
+	$(GO) run ./cmd/dns -overlap -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -trace .bench-smoke/dns_overlap.trace.json -report .bench-smoke/BENCH_dns_overlap.json > /dev/null
 	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -schedule > /dev/null
 	$(GO) run ./cmd/bench-comm -schedule > /dev/null
 	$(GO) run ./cmd/bench-fft -schedule > /dev/null
@@ -56,7 +59,9 @@ bench-smoke:
 # model of the schedule block — advisory only, never gates.
 bench-diff: bench-smoke
 	$(GO) run ./cmd/bench-diff -warn-only BENCH_table9.json .bench-smoke/BENCH_table9.json
+	$(GO) run ./cmd/bench-diff -warn-only BENCH_table5.json .bench-smoke/BENCH_table5.json
 	$(GO) run ./cmd/bench-diff -model .bench-smoke/BENCH_table9.json
+	$(GO) run ./cmd/bench-diff -model .bench-smoke/BENCH_table9_overlap.json
 
 # Crash-restart drill: checkpoint a tiny multi-rank run every 2 steps,
 # flip a bit in the newest checkpoint's shard (manifest left intact — the

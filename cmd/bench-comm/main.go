@@ -8,12 +8,15 @@
 // same split dimension. The live sweep records through the telemetry
 // subsystem — the same phase timers and per-direction comm counters the DNS
 // timestep feeds — and -json writes the aggregated telemetry.Report.
+// -overlap A/Bs every split against the pipelined (chunked, per-peer
+// progress) exchange, printing how much of the wire time the pipeline hid.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"channeldns/internal/machine"
@@ -23,13 +26,15 @@ import (
 	"channeldns/internal/perf"
 	"channeldns/internal/schedule"
 	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
 )
 
 func main() {
 	pattern := flag.Bool("pattern", false, "print the Figure 4 communicator pattern (128 ranks)")
 	showSched := flag.Bool("schedule", false, "print the declarative op schedule of the live transpose cycle (balanced 4x4 split)")
 	live := flag.Bool("live", false, "also run live in-process transpose cycles")
-	jsonPath := flag.String("json", "", "write a telemetry report of the live sweep to this file (implies -live)")
+	overlapAB := flag.Bool("overlap", false, "A/B the serial exchange against the pipelined overlap for every live split (implies -live)")
+	jsonPath := flag.String("json", "", "write a telemetry report of the live sweep to this file (implies -live; with -overlap a paired .overlap.json rides along)")
 	flag.Parse()
 
 	if *pattern {
@@ -50,26 +55,50 @@ func main() {
 	}
 	tbl.Write(os.Stdout)
 
-	if *live || *jsonPath != "" {
+	if *live || *overlapAB || *jsonPath != "" {
 		fmt.Println("\nLive in-process transpose cycle (16 ranks, 64x32x32 modes, 3 fields):")
-		lt := perf.Table{Headers: []string{"CommA", "CommB", "elapsed",
-			"MB moved/dir", "steady allocs"}}
+		headers := []string{"CommA", "CommB", "elapsed", "MB moved/dir", "steady allocs"}
+		if *overlapAB {
+			headers = []string{"CommA", "CommB", "serial", "pipelined", "ratio",
+				"exposed [ms]", "hidden [ms]", "steady allocs"}
+		}
+		lt := perf.Table{Headers: headers}
 		metrics := map[string]float64{}
-		var balanced *liveResult
+		var balanced, balancedOv *liveResult
 		for _, split := range [][2]int{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}} {
-			r := liveCycle(split[0], split[1])
-			lt.AddRowf(split[0], split[1], r.elapsed.String(),
-				fmt.Sprintf("%.2f", float64(r.bytesPerDir)/(1<<20)), r.allocs)
+			r := liveCycle(split[0], split[1], false, *overlapAB)
 			metrics[fmt.Sprintf("cycle_seconds_%dx%d", split[0], split[1])] = r.elapsed.Seconds()
+			if *overlapAB {
+				o := liveCycle(split[0], split[1], true, true)
+				lt.AddRowf(split[0], split[1], r.elapsed.String(), o.elapsed.String(),
+					r.elapsed.Seconds()/o.elapsed.Seconds(),
+					fmt.Sprintf("%.3f", o.exposed*1e3), fmt.Sprintf("%.3f", o.hidden*1e3),
+					o.allocs)
+				metrics[fmt.Sprintf("overlap_cycle_seconds_%dx%d", split[0], split[1])] = o.elapsed.Seconds()
+				metrics[fmt.Sprintf("overlap_exposed_seconds_%dx%d", split[0], split[1])] = o.exposed
+				metrics[fmt.Sprintf("overlap_hidden_seconds_%dx%d", split[0], split[1])] = o.hidden
+				if split[0] == 4 && split[1] == 4 {
+					balancedOv = o
+				}
+			} else {
+				lt.AddRowf(split[0], split[1], r.elapsed.String(),
+					fmt.Sprintf("%.2f", float64(r.bytesPerDir)/(1<<20)), r.allocs)
+			}
 			if split[0] == 4 && split[1] == 4 {
 				balanced = r
 			}
 		}
 		lt.Write(os.Stdout)
-		fmt.Println("MB moved/dir: rank-0 bytes through each transpose direction " +
-			"(pack+unpack); steady allocs: heap objects allocated process-wide " +
-			"during the timed cycles (message copies only — plan tables and " +
-			"exchange buffers are reused).")
+		if *overlapAB {
+			fmt.Println("exposed/hidden: wire time the pipelined cycles waited on vs " +
+				"overlapped with pack/unpack (trace analyzer, summed across ranks " +
+				"and iterations); ratio > 1 means the pipeline won.")
+		} else {
+			fmt.Println("MB moved/dir: rank-0 bytes through each transpose direction " +
+				"(pack+unpack); steady allocs: heap objects allocated process-wide " +
+				"during the timed cycles (message copies only — plan tables and " +
+				"exchange buffers are reused).")
+		}
 
 		if *jsonPath != "" {
 			rep := telemetry.NewReport("table5", balanced.reg, map[string]string{
@@ -86,40 +115,86 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *jsonPath)
+			if balancedOv != nil {
+				ovPath := strings.TrimSuffix(*jsonPath, ".json") + ".overlap.json"
+				ovRep := telemetry.NewReport("table5-overlap", balancedOv.reg, map[string]string{
+					"nkx": "32", "nz": "32", "ny": "32",
+					"fields": "3", "iters": "4", "splits": "16x1,8x2,4x4,2x8,1x16",
+					"overlap": "true",
+				})
+				ovRep.WallSeconds = balancedOv.elapsed.Seconds()
+				ovRep.Schedule = balancedOv.sched
+				ovRep.Trace = balancedOv.traceSum
+				if err := ovRep.WriteFile(ovPath); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", ovPath)
+			}
 		}
 	}
 }
 
 // liveResult is one timed split of the live sweep.
 type liveResult struct {
-	elapsed     time.Duration
-	bytesPerDir int64  // rank-0 bytes moved per direction (all four agree)
-	allocs      uint64 // process-wide heap objects during the timed loop
-	reg         *telemetry.Registry
-	sched       *schedule.Schedule // the cycle as this split executed it
+	elapsed         time.Duration
+	bytesPerDir     int64  // rank-0 bytes moved per direction (all four agree)
+	allocs          uint64 // process-wide heap objects during the timed loop
+	exposed, hidden float64
+	reg             *telemetry.Registry
+	sched           *schedule.Schedule // the cycle as this split executed it
+	traceSum        *telemetry.TraceSummary
 }
 
-func liveCycle(pa, pb int) *liveResult {
+// liveCycle times 4 transpose cycles on a pa x pb split. With overlap the
+// four legs run through the pipelined chunked exchange (nil consume: this
+// benchmark isolates the transposes, so there is no FFT stage to hide
+// under — the pipeline still overlaps wire time with pack/unpack). With
+// traced, a flight recorder rides along so the analyzer can attribute
+// exposed vs hidden wire time; tracing is on for both sides of the
+// -overlap A/B so the timings stay comparable.
+func liveCycle(pa, pb int, overlap, traced bool) *liveResult {
 	res := &liveResult{reg: telemetry.NewRegistry()}
+	var trc *trace.Trace
+	if traced {
+		trc = trace.New(0)
+	}
 	mpi.Run(pa*pb, func(c *mpi.Comm) {
 		d := pencil.New(c, pa, pb, 32, 32, 32, par.NewPool(1))
-		d.Telemetry = res.reg.Rank(c.Rank())
+		d.Overlap = overlap
+		tel := res.reg.Rank(c.Rank())
+		d.Telemetry = tel
+		var rec *trace.Recorder
+		if trc != nil {
+			rec = trc.Rank(c.Rank())
+			d.Trace = rec
+			tel.SetTracer(rec)
+		}
 		fields := make([][]complex128, 3)
 		for f := range fields {
 			fields[f] = make([]complex128, d.YPencilLen())
 		}
 		// Preallocated destinations: the steady-state cycle reuses these
 		// and the Decomp's transpose plans, so the loop below allocates
-		// nothing beyond the runtime's per-message copies.
+		// nothing beyond the runtime's per-message copies (and nothing at
+		// all on the pipelined path, which sends from preallocated wire
+		// arenas).
 		zp := pencil.AllocFields(3, d.ZPencilLen(d.NZ))
 		xp := pencil.AllocFields(3, d.XPencilLen(d.NZ))
 		zp2 := pencil.AllocFields(3, d.ZPencilLen(d.NZ))
 		out := pencil.AllocFields(3, d.YPencilLen())
 		cycle := func() {
-			d.YtoZ(zp, fields)
-			d.ZtoX(xp, zp, d.NZ)
-			d.XtoZ(zp2, xp, d.NZ)
-			d.ZtoY(out, zp2)
+			if overlap {
+				d.YtoZPipelined(zp, fields, nil)
+				d.ZtoXPipelined(xp, zp, d.NZ, nil)
+				d.XtoZPipelined(zp2, xp, d.NZ, nil)
+				d.ZtoYPipelined(out, zp2, nil)
+			} else {
+				d.YtoZ(zp, fields)
+				d.ZtoX(xp, zp, d.NZ)
+				d.XtoZ(zp2, xp, d.NZ)
+				d.ZtoY(out, zp2)
+			}
 		}
 		cycle() // warm the plans
 		c.Barrier()
@@ -128,7 +203,10 @@ func liveCycle(pa, pb int) *liveResult {
 		before := perf.ReadAllocs()
 		t0 := time.Now()
 		for it := 0; it < 4; it++ {
+			rec.BeginStep(int64(it))
+			st0 := time.Now()
 			cycle()
+			rec.EndStep(st0, time.Now())
 		}
 		c.Barrier()
 		if c.Rank() == 0 {
@@ -139,6 +217,15 @@ func liveCycle(pa, pb int) *liveResult {
 			res.sched = d.CycleSchedule(3)
 		}
 	})
+	if trc != nil {
+		res.traceSum = trace.Summarize(trc)
+		if res.traceSum != nil {
+			for _, s := range res.traceSum.Steps {
+				res.exposed += s.ExposedWireSeconds
+				res.hidden += s.HiddenWireSeconds
+			}
+		}
+	}
 	return res
 }
 

@@ -34,11 +34,12 @@ func main() {
 	ny := flag.Int("ny", 33, "grid Ny for the -json run")
 	nz := flag.Int("nz", 32, "grid Nz for the -json run")
 	steps := flag.Int("steps", 3, "timed steps for the -json run")
+	overlap := flag.Bool("overlap", false, "run the -json/-schedule steps with the pipelined transpose/FFT overlap (bit-identical; at 1 rank only the schedule and pricing change)")
 	flag.Parse()
 	all := !*strong && !*weak && !*hybrid && !*configs && !*live && !*showSched && *jsonPath == ""
 
 	if *showSched {
-		cfg := core.Config{Nx: *nx, Ny: *ny, Nz: *nz, ReTau: 180, Dt: 1e-3}
+		cfg := core.Config{Nx: *nx, Ny: *ny, Nz: *nz, ReTau: 180, Dt: 1e-3, Overlap: *overlap}
 		cfg.Schedule().Write(os.Stdout)
 	}
 
@@ -58,7 +59,7 @@ func main() {
 		runLive()
 	}
 	if *jsonPath != "" {
-		if err := runReport(*jsonPath, *tracePath, *nx, *ny, *nz, *steps); err != nil {
+		if err := runReport(*jsonPath, *tracePath, *nx, *ny, *nz, *steps, *overlap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -71,10 +72,10 @@ func main() {
 // so phase_seconds_sum tracks wall_seconds to within the repo's 10%
 // acceptance bound; allocs_per_step restates the process-wide steady-state
 // allocation count the core alloc budget bounds.
-func runReport(path, tracePath string, nx, ny, nz, steps int) error {
+func runReport(path, tracePath string, nx, ny, nz, steps int, overlap bool) error {
 	reg := telemetry.NewRegistry()
 	cfg := core.Config{Nx: nx, Ny: ny, Nz: nz, ReTau: 180, Dt: 1e-3, Forcing: 1,
-		Telemetry: reg}
+		Telemetry: reg, Overlap: overlap}
 	var trc *trace.Trace
 	if tracePath != "" {
 		trc = trace.New(0)
@@ -103,6 +104,7 @@ func runReport(path, tracePath string, nx, ny, nz, steps int) error {
 		"nx": fmt.Sprint(nx), "ny": fmt.Sprint(ny), "nz": fmt.Sprint(nz),
 		"re_tau": "180", "dt": "1e-3", "steps": fmt.Sprint(steps),
 		"pa": "1", "pb": "1", "threads": "1", "form": "divergence",
+		"overlap": fmt.Sprint(overlap),
 	})
 	rep.AllocsPerStep = allocsPerStep
 	rep.Schedule = cfg.Schedule()

@@ -52,6 +52,8 @@ func main() {
 		repPath = flag.String("report", "", "write the final telemetry report (BENCH-schema JSON) to this file")
 		trcPath = flag.String("trace", "", "record a flight-recorder trace and write it as Chrome trace-event JSON (open in Perfetto) to this file")
 		trcCap  = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default)")
+		overlap = flag.Bool("overlap", false, "pipeline the nonlinear-path transposes with the FFT stages that consume them (bit-identical; wins at 4+ ranks)")
+		chunks  = flag.Int("chunks", 0, "pipeline depth of the overlapped exchange (0 = default 4, clamped per direction)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 		Nx: *nx, Ny: *ny, Nz: *nz,
 		ReTau: *retau, Dt: *dt, Forcing: 1,
 		PA: *pa, PB: *pb, Pool: par.NewPool(*threads),
+		Overlap: *overlap, PipelineChunks: *chunks,
 	}
 	var reg *telemetry.Registry
 	if *listen != "" || *repPath != "" || *trcPath != "" {
@@ -91,6 +94,7 @@ func main() {
 			"re_tau": fmt.Sprint(*retau), "dt": fmt.Sprint(*dt),
 			"steps": fmt.Sprint(*steps), "pa": fmt.Sprint(*pa), "pb": fmt.Sprint(*pb),
 			"threads": fmt.Sprint(*threads), "form": *form,
+			"overlap": fmt.Sprint(*overlap),
 		})
 		if trc != nil {
 			rep.Trace = trace.Summarize(trc)

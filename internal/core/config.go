@@ -61,6 +61,16 @@ type Config struct {
 	// Tracing implies telemetry: when Telemetry is nil a private registry
 	// is created, since the phase events piggyback on the telemetry spans.
 	Trace *trace.Trace
+	// Overlap pipelines the nonlinear path's global transposes with the FFT
+	// stages that consume them: each exchange moves in chunked per-peer
+	// messages and the transform work for completed chunks runs while later
+	// chunks are still on the wire (pencil.TransposePlan.RunPipelined).
+	// Results are bit-identical to the serial exchange; the win appears at
+	// 4+ ranks where wire time is worth hiding.
+	Overlap bool
+	// PipelineChunks overrides the overlapped exchange's pipeline depth
+	// (0 = the default 4; clamped per direction to the chunk-axis extent).
+	PipelineChunks int
 	// UseGeneralSolver replaces the customized compact banded solver in the
 	// time advance with the general pivoted banded solver (complex right-
 	// hand sides via two sequential real solves) — the configuration the

@@ -20,7 +20,6 @@ package core
 
 import (
 	"math"
-	"sync"
 
 	"channeldns/internal/telemetry"
 )
@@ -37,93 +36,33 @@ const (
 
 // products computes the six dealiased quadratic products as y-pencil
 // collocation values, layout [kxLoc][kzLoc][Ny] per product.
+//
+// The three forward-path transposes run through the pipelined entry points:
+// with Config.Overlap each exchange moves in chunks and the consume hooks
+// below run the following transform stage on every completed chunk-axis
+// line range while later chunks are still on the wire; with overlap off the
+// same hooks run once over the full range after the one-shot exchange, so
+// there is a single code path either way. The hooks and their pool-block
+// bodies are method values bound at construction (solver.go), keeping the
+// steady state free of per-step closure allocation beyond the pool headers.
 func (s *Solver) products() [][]complex128 {
 	d := s.D
-	g := s.G
 	ws := s.ws
-	nz, mz := g.Nz, g.MZ()
-	nkx, mx := g.NKx(), g.MX()
+	mz := s.G.MZ()
 
-	// (a) y-pencils -> z-pencils for u, v, w.
+	// (a)-(c) y-pencils -> z-pencils for u, v, w, the padded inverse z
+	// transform consuming each completed chunk of local-kx lines.
 	vel := s.velocityValues()
-	zp := d.YtoZ(ws.zpVel[:3], vel)
+	d.YtoZPipelined(ws.zpVel[:3], vel, s.nlZInvFn)
 
-	// (b)+(c) pad in z and inverse transform, line by line.
-	kxloc := s.kxhi - s.kxlo
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	linesZ := kxloc * nyLoc
-	zphys := ws.zphys[:3]
-	sp := s.tel.Begin(telemetry.PhaseFFTInverse)
-	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
-		scratch := ws.workers[blk].zscr
-		for f := 0; f < 3; f++ {
-			src, dst := zp[f], zphys[f]
-			for l := lo; l < hi; l++ {
-				s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], src[l*nz:(l+1)*nz], scratch)
-			}
-		}
-	})
-	sp.End()
-
-	// (d) z-pencils -> x-pencils.
-	xp := d.ZtoX(ws.xp[:3], zphys, mz)
-
-	// (e)+(f)+(g)+(h-start): one threaded block spans the inverse x
-	// transform, the pointwise products, and the forward x transform.
-	zxl, zxh := d.ZRangeX(mz)
-	nzLoc := zxh - zxl
-	linesX := nyLoc * nzLoc
-	prodX := ws.prodX
-	yl0, _ := d.YRange()
+	// (d)-(g) z-pencils -> x-pencils, the fused x excursion (inverse
+	// transform, pointwise products, forward transform — one threaded block
+	// per line so lines stay in cache) consuming each chunk of local-y
+	// lines.
 	zeroF(ws.locMaxU)
 	zeroF(ws.locMaxV)
 	zeroF(ws.locMaxW)
-	var maxMu sync.Mutex
-	sp = s.tel.Begin(telemetry.PhaseNonlinear)
-	s.pool().ForBlocksIndexed(linesX, func(blk, lo, hi int) {
-		w := &ws.workers[blk]
-		pu, pv, pw := w.phys[0], w.phys[1], w.phys[2]
-		pp := w.prod
-		scratch := w.xscr
-		blkU, blkV, blkW := w.rl[0], w.rl[1], w.rl[2]
-		zeroF(blkU)
-		zeroF(blkV)
-		zeroF(blkW)
-		for l := lo; l < hi; l++ {
-			s.padX.InversePaddedScratch(pu, xp[0][l*nkx:(l+1)*nkx], scratch)
-			s.padX.InversePaddedScratch(pv, xp[1][l*nkx:(l+1)*nkx], scratch)
-			s.padX.InversePaddedScratch(pw, xp[2][l*nkx:(l+1)*nkx], scratch)
-			// Harvest physical velocity maxima for the CFL diagnostic;
-			// line l sits at global collocation index yl0 + l/nzLoc.
-			yg := yl0 + l/nzLoc
-			for i := 0; i < mx; i++ {
-				blkU[yg] = math.Max(blkU[yg], math.Abs(pu[i]))
-				blkV[yg] = math.Max(blkV[yg], math.Abs(pv[i]))
-				blkW[yg] = math.Max(blkW[yg], math.Abs(pw[i]))
-			}
-			forward := func(f int, a, b []float64) {
-				for i := 0; i < mx; i++ {
-					pp[i] = a[i] * b[i]
-				}
-				s.padX.ForwardTruncatedScratch(prodX[f][l*nkx:(l+1)*nkx], pp, scratch)
-			}
-			forward(pUU, pu, pu)
-			forward(pUV, pu, pv)
-			forward(pUW, pu, pw)
-			forward(pVV, pv, pv)
-			forward(pVW, pv, pw)
-			forward(pWW, pw, pw)
-		}
-		maxMu.Lock()
-		for y := range ws.locMaxU {
-			ws.locMaxU[y] = math.Max(ws.locMaxU[y], blkU[y])
-			ws.locMaxV[y] = math.Max(ws.locMaxV[y], blkV[y])
-			ws.locMaxW[y] = math.Max(ws.locMaxW[y], blkW[y])
-		}
-		maxMu.Unlock()
-	})
-	sp.End()
+	d.ZtoXPipelined(ws.xp[:3], ws.zphys[:3], mz, s.nlXFn)
 	s.physMaxMu.Lock()
 	copy(s.physMaxU, ws.locMaxU)
 	copy(s.physMaxV, ws.locMaxV)
@@ -131,22 +70,131 @@ func (s *Solver) products() [][]complex128 {
 	s.physMaxCurrent = true
 	s.physMaxMu.Unlock()
 
-	// (h) reverse path: x-pencils -> z-pencils, forward z with truncation,
-	// z-pencils -> y-pencils.
-	zp2 := d.XtoZ(ws.zpProd, prodX, mz)
-	zspec := ws.zspec
-	sp = s.tel.Begin(telemetry.PhaseFFTForward)
-	s.pool().ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
-		scratch := ws.workers[blk].zscr
-		for f := 0; f < nProducts; f++ {
-			src, dst := zp2[f], zspec[f]
-			for l := lo; l < hi; l++ {
-				s.padZ.ForwardTruncatedScratch(dst[l*nz:(l+1)*nz], src[l*mz:(l+1)*mz], scratch)
-			}
-		}
-	})
+	// (h) reverse path: x-pencils -> z-pencils with the truncated forward z
+	// transform consuming each chunk of local-y lines, then back to
+	// y-pencils (one-shot: nothing follows to hide the return leg under).
+	d.XtoZPipelined(ws.zpProd, ws.prodX, mz, s.nlZFwdFn)
+	return d.ZtoY(ws.prodsY, ws.zspec)
+}
+
+// consumeNLZInv is the YtoZ consume hook: pad and inverse transform in z
+// the lines of local-kx range [lo, hi) — z-pencil lines are kx-major, so
+// the range maps to the contiguous line window [lo, hi) * nyLoc.
+func (s *Solver) consumeNLZInv(lo, hi int) {
+	yl, yh := s.D.YRange()
+	nyLoc := yh - yl
+	s.nlLineOff = lo * nyLoc
+	sp := s.tel.Begin(telemetry.PhaseFFTInverse)
+	s.pool().ForBlocksIndexed((hi-lo)*nyLoc, s.nlZInvBlk)
 	sp.End()
-	return d.ZtoY(ws.prodsY, zspec)
+}
+
+func (s *Solver) nlZInvBlock(blk, lo, hi int) {
+	ws := s.ws
+	nz, mz := s.G.Nz, s.G.MZ()
+	scratch := ws.workers[blk].zscr
+	lo += s.nlLineOff
+	hi += s.nlLineOff
+	for f := 0; f < 3; f++ {
+		src, dst := ws.zpVel[f], ws.zphys[f]
+		for l := lo; l < hi; l++ {
+			s.padZ.InversePaddedScratch(dst[l*mz:(l+1)*mz], src[l*nz:(l+1)*nz], scratch)
+		}
+	}
+}
+
+// consumeNLX is the ZtoX consume hook: the fused x excursion for the
+// local-y range [lo, hi) — x-pencil lines are y-major, so the range maps to
+// the contiguous line window [lo, hi) * nzLoc.
+func (s *Solver) consumeNLX(lo, hi int) {
+	zxl, zxh := s.D.ZRangeX(s.G.MZ())
+	nzLoc := zxh - zxl
+	s.nlLineOff = lo * nzLoc
+	sp := s.tel.Begin(telemetry.PhaseNonlinear)
+	s.pool().ForBlocksIndexed((hi-lo)*nzLoc, s.nlXBlk)
+	sp.End()
+}
+
+func (s *Solver) nlXBlock(blk, lo, hi int) {
+	ws := s.ws
+	g := s.G
+	nkx, mx := g.NKx(), g.MX()
+	zxl, zxh := s.D.ZRangeX(g.MZ())
+	nzLoc := zxh - zxl
+	yl0, _ := s.D.YRange()
+	xp := ws.xp
+	prodX := ws.prodX
+	w := &ws.workers[blk]
+	pu, pv, pw := w.phys[0], w.phys[1], w.phys[2]
+	pp := w.prod
+	scratch := w.xscr
+	blkU, blkV, blkW := w.rl[0], w.rl[1], w.rl[2]
+	zeroF(blkU)
+	zeroF(blkV)
+	zeroF(blkW)
+	lo += s.nlLineOff
+	hi += s.nlLineOff
+	for l := lo; l < hi; l++ {
+		s.padX.InversePaddedScratch(pu, xp[0][l*nkx:(l+1)*nkx], scratch)
+		s.padX.InversePaddedScratch(pv, xp[1][l*nkx:(l+1)*nkx], scratch)
+		s.padX.InversePaddedScratch(pw, xp[2][l*nkx:(l+1)*nkx], scratch)
+		// Harvest physical velocity maxima for the CFL diagnostic;
+		// line l sits at global collocation index yl0 + l/nzLoc.
+		yg := yl0 + l/nzLoc
+		for i := 0; i < mx; i++ {
+			blkU[yg] = math.Max(blkU[yg], math.Abs(pu[i]))
+			blkV[yg] = math.Max(blkV[yg], math.Abs(pv[i]))
+			blkW[yg] = math.Max(blkW[yg], math.Abs(pw[i]))
+		}
+		forward := func(f int, a, b []float64) {
+			for i := 0; i < mx; i++ {
+				pp[i] = a[i] * b[i]
+			}
+			s.padX.ForwardTruncatedScratch(prodX[f][l*nkx:(l+1)*nkx], pp, scratch)
+		}
+		forward(pUU, pu, pu)
+		forward(pUV, pu, pv)
+		forward(pUW, pu, pw)
+		forward(pVV, pv, pv)
+		forward(pVW, pv, pw)
+		forward(pWW, pw, pw)
+	}
+	s.nlMaxMu.Lock()
+	for y := range ws.locMaxU {
+		ws.locMaxU[y] = math.Max(ws.locMaxU[y], blkU[y])
+		ws.locMaxV[y] = math.Max(ws.locMaxV[y], blkV[y])
+		ws.locMaxW[y] = math.Max(ws.locMaxW[y], blkW[y])
+	}
+	s.nlMaxMu.Unlock()
+}
+
+// consumeNLZFwd is the XtoZ consume hook: truncated forward z transform
+// for the local-y range [lo, hi). Unlike the inverse leg the destination
+// lines are strided — line kx*nyLoc + y for every local kx and y in range —
+// so the pool iterates a dense (kx, y-in-range) index.
+func (s *Solver) consumeNLZFwd(lo, hi int) {
+	s.nlYLo, s.nlYSpan = lo, hi-lo
+	kxloc := s.kxhi - s.kxlo
+	sp := s.tel.Begin(telemetry.PhaseFFTForward)
+	s.pool().ForBlocksIndexed(kxloc*(hi-lo), s.nlZFwdBlk)
+	sp.End()
+}
+
+func (s *Solver) nlZFwdBlock(blk, lo, hi int) {
+	ws := s.ws
+	nz, mz := s.G.Nz, s.G.MZ()
+	yl, yh := s.D.YRange()
+	nyLoc := yh - yl
+	span := s.nlYSpan
+	scratch := ws.workers[blk].zscr
+	for f := 0; f < nProducts; f++ {
+		src, dst := ws.zpProd[f], ws.zspec[f]
+		for l := lo; l < hi; l++ {
+			kx := l / span
+			li := kx*nyLoc + s.nlYLo + (l - kx*span)
+			s.padZ.ForwardTruncatedScratch(dst[li*nz:(li+1)*nz], src[li*mz:(li+1)*mz], scratch)
+		}
+	}
 }
 
 // nonlinearTerms evaluates h_g and h_v (collocation values per local

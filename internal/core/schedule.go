@@ -1,6 +1,9 @@
 package core
 
-import "channeldns/internal/schedule"
+import (
+	"channeldns/internal/pencil"
+	"channeldns/internal/schedule"
+)
 
 // Schedule returns the declarative op list of one RK3 timestep as this
 // solver executes it: three substeps of the §2.3 transpose/FFT pipeline
@@ -9,13 +12,21 @@ import "channeldns/internal/schedule"
 // one-sided x modes, and 4-pass pack/unpack around every transpose. The
 // convective and skew-symmetric forms move different forward-path traffic
 // and are not described; the bench tools and the solver's flop accounting
-// use the default divergence form.
+// use the default divergence form. With Overlap set, the forward-path
+// transposes are emitted as chunked Overlap ops fused with the FFT stages
+// they hide under, with the same per-direction pipeline depths the live
+// decomposition uses.
 func (c Config) Schedule() *schedule.Schedule {
 	c.fillDefaults()
+	var ca, cb int
+	if c.Overlap {
+		ca, cb = pencil.OverlapChunksFor(c.Nx/2, c.Ny, c.PA, c.PB, c.PipelineChunks)
+	}
 	return schedule.Timestep(schedule.TimestepParams{
 		Nx: c.Nx, Ny: c.Ny, Nz: c.Nz,
 		PA: c.PA, PB: c.PB,
 		Products:   nProducts,
 		PackPasses: 4,
+		ChunksA:    ca, ChunksB: cb,
 	})
 }

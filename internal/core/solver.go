@@ -66,6 +66,15 @@ type Solver struct {
 	physMaxW       []float64
 	physMaxCurrent bool
 
+	// Pipelined nonlinear-path hooks, bound once at construction so the
+	// overlapped transposes hand completed chunk-axis line ranges to the
+	// FFT stages without per-step closure allocation (see nonlinear.go).
+	nlZInvFn, nlXFn, nlZFwdFn    func(lo, hi int)
+	nlZInvBlk, nlXBlk, nlZFwdBlk func(blk, lo, hi int)
+	nlLineOff                    int // first line of the current consume range
+	nlYLo, nlYSpan               int // y window of the current forward-z range
+	nlMaxMu                      sync.Mutex
+
 	// tel is this rank's telemetry collector (nil when Config.Telemetry is
 	// unset — every recording call is then a no-op); stepFlops is this
 	// rank's share of the machine model's per-step operation count,
@@ -133,6 +142,8 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 	s.D = pencil.New(world, cfg.PA, cfg.PB, g.NKx(), g.Nz, g.Ny, cfg.Pool)
 	s.D.Telemetry = s.tel
 	s.D.Trace = s.trc
+	s.D.Overlap = cfg.Overlap
+	s.D.PipelineChunks = cfg.PipelineChunks
 	s.kxlo, s.kxhi = s.D.KxRange()
 	s.kzlo, s.kzhi = s.D.KzRangeY()
 	s.nw = (s.kxhi - s.kxlo) * (s.kzhi - s.kzlo)
@@ -156,6 +167,12 @@ func New(world *mpi.Comm, cfg Config) (*Solver, error) {
 	s.physMaxV = make([]float64, cfg.Ny)
 	s.physMaxW = make([]float64, cfg.Ny)
 	s.ws = s.newWorkspace()
+	s.nlZInvFn = s.consumeNLZInv
+	s.nlXFn = s.consumeNLX
+	s.nlZFwdFn = s.consumeNLZFwd
+	s.nlZInvBlk = s.nlZInvBlock
+	s.nlXBlk = s.nlXBlock
+	s.nlZFwdBlk = s.nlZFwdBlock
 	return s, nil
 }
 

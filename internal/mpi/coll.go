@@ -168,6 +168,24 @@ func Alltoall[T any](c *Comm, data []T, blockLen int) []T {
 	return Alltoallv(c, data, counts, displs, counts, displs)
 }
 
+// CountMismatchError reports a collective receive whose payload length
+// disagrees with the caller's recvCounts table — the two ranks were called
+// with inconsistent count tables. It is returned (not panicked) by the
+// Into forms of the alltoallv family so preplanned callers can surface the
+// plan inconsistency with context.
+type CountMismatchError struct {
+	Op   string // collective name, e.g. "AlltoallvOverlap"
+	Rank int    // receiving rank (within the communicator)
+	Src  int    // sending rank (within the communicator)
+	Want int    // recvCounts[Src] on the receiver
+	Got  int    // elements actually received
+}
+
+func (e *CountMismatchError) Error() string {
+	return fmt.Sprintf("mpi: %s rank %d expected %d elements from %d, got %d",
+		e.Op, e.Rank, e.Want, e.Src, e.Got)
+}
+
 // recvTotal returns the receive-buffer length implied by the count and
 // displacement tables.
 func recvTotal(p int, recvCounts, recvDispls []int) int {
@@ -185,15 +203,21 @@ func recvTotal(p int, recvCounts, recvDispls []int) int {
 // communication/computation-overlap pattern real transpose implementations
 // use. Results are identical to Alltoallv.
 func AlltoallvOverlap[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
-	return AlltoallvOverlapInto(c, nil, data, sendCounts, sendDispls, recvCounts, recvDispls)
+	out, err := AlltoallvOverlapInto(c, nil, data, sendCounts, sendDispls, recvCounts, recvDispls)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // AlltoallvOverlapInto is AlltoallvOverlap with a caller-provided receive
 // buffer, the form the preplanned pencil transposes use so that the
 // steady state performs no allocations beyond the per-message payload
 // copies the eager-send runtime requires. A nil (or too-short) out buffer
-// is replaced by a fresh allocation.
-func AlltoallvOverlapInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+// is replaced by a fresh allocation. A *CountMismatchError is returned when
+// a peer's payload contradicts recvCounts — inconsistent tables across
+// ranks — leaving out partially written.
+func AlltoallvOverlapInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) ([]T, error) {
 	p := c.size()
 	total := recvTotal(p, recvCounts, recvDispls)
 	if len(out) < total {
@@ -223,15 +247,14 @@ func AlltoallvOverlapInto[T any](c *Comm, out, data []T, sendCounts, sendDispls,
 		in := WaitT[T](r)
 		src := srcs[i]
 		if len(in) != recvCounts[src] {
-			panic(fmt.Sprintf("mpi: AlltoallvOverlap rank %d expected %d from %d, got %d",
-				c.rank, recvCounts[src], src, len(in)))
+			return out, &CountMismatchError{Op: "AlltoallvOverlap", Rank: c.rank, Src: src, Want: recvCounts[src], Got: len(in)}
 		}
 		if c.trc != nil {
 			c.trc.Peer(src, int64(len(in))*sizeofT[T](), t0, time.Now())
 		}
 		copy(out[recvDispls[src]:], in)
 	}
-	return out
+	return out, nil
 }
 
 // Alltoallv performs the complete exchange with per-peer counts and
@@ -244,15 +267,20 @@ func AlltoallvOverlapInto[T any](c *Comm, out, data []T, sendCounts, sendDispls,
 // (r - s mod P) and (r + s mod P), the same linear-shift schedule MPI
 // implementations use to avoid hot spots.
 func Alltoallv[T any](c *Comm, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
-	return AlltoallvInto(c, nil, data, sendCounts, sendDispls, recvCounts, recvDispls)
+	out, err := AlltoallvInto(c, nil, data, sendCounts, sendDispls, recvCounts, recvDispls)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // AlltoallvInto is Alltoallv with a caller-provided receive buffer (see
-// AlltoallvOverlapInto). The send buffer is free for reuse as soon as the
-// call returns on this rank: each per-peer block is copied into the
-// message before it is posted, which is exactly what lets the pencil
-// transpose plans keep the paper's 1x communication-buffer discipline.
-func AlltoallvInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) []T {
+// AlltoallvOverlapInto, including the *CountMismatchError contract). The
+// send buffer is free for reuse as soon as the call returns on this rank:
+// each per-peer block is copied into the message before it is posted, which
+// is exactly what lets the pencil transpose plans keep the paper's 1x
+// communication-buffer discipline.
+func AlltoallvInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCounts, recvDispls []int) ([]T, error) {
 	p := c.size()
 	total := recvTotal(p, recvCounts, recvDispls)
 	if len(out) < total {
@@ -272,13 +300,12 @@ func AlltoallvInto[T any](c *Comm, out, data []T, sendCounts, sendDispls, recvCo
 		}
 		in := c.recv(src, tagAlltoall).([]T)
 		if len(in) != recvCounts[src] {
-			panic(fmt.Sprintf("mpi: Alltoallv rank %d expected %d elements from %d, got %d",
-				c.rank, recvCounts[src], src, len(in)))
+			return out, &CountMismatchError{Op: "Alltoallv", Rank: c.rank, Src: src, Want: recvCounts[src], Got: len(in)}
 		}
 		if c.trc != nil {
 			c.trc.Peer(src, int64(len(in))*sizeofT[T](), t0, time.Now())
 		}
 		copy(out[recvDispls[src]:], in)
 	}
-	return out
+	return out, nil
 }

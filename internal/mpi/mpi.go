@@ -34,6 +34,7 @@ const (
 	tagGather
 	tagAlltoall
 	tagSplit
+	tagStream
 )
 
 type message struct {
@@ -67,7 +68,13 @@ func (mb *mailbox) put(m message) {
 			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
 			mb.mu.Unlock()
 			p.req.payload = m.payload
-			close(p.req.done)
+			if p.notify != nil {
+				// Stream receive: deliver the posted index on the (buffered,
+				// never-blocking) completion channel instead of closing done.
+				p.notify <- p.idx
+			} else {
+				close(p.req.done)
+			}
 			return
 		}
 	}

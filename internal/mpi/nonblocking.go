@@ -29,12 +29,16 @@ func (r *Request) Test() bool {
 	}
 }
 
-// pendingRecv is a posted receive awaiting a matching message.
+// pendingRecv is a posted receive awaiting a matching message. A non-nil
+// notify marks a stream receive: delivery sends idx on notify (buffered by
+// the owning Stream, so the send never blocks) instead of closing req.done.
 type pendingRecv struct {
 	src    int // world rank or AnySource
 	commID int64
 	tag    int
 	req    *Request
+	notify chan<- int
+	idx    int
 }
 
 // postRecv matches an already-queued message or registers the receive for
@@ -55,6 +59,28 @@ func (mb *mailbox) postRecv(src int, commID int64, tag int) *Request {
 	}
 	mb.pending = append(mb.pending, pendingRecv{src: src, commID: commID, tag: tag, req: req})
 	return req
+}
+
+// postRecvNotify posts a stream receive on a caller-owned request: a queued
+// matching message completes it immediately, otherwise a future put does.
+// Either way the completion is announced by sending idx on notify rather
+// than by closing req.done, so the request (and its payload slot) can be
+// reused across exchanges without re-making channels.
+func (mb *mailbox) postRecvNotify(src int, commID int64, tag int, req *Request, notify chan<- int, idx int) {
+	mb.mu.Lock()
+	for i, m := range mb.msgs {
+		if m.commID == commID &&
+			(src == AnySource || m.src == src) &&
+			(tag == AnyTag || m.tag == tag) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			mb.mu.Unlock()
+			req.payload = m.payload
+			notify <- idx
+			return
+		}
+	}
+	mb.pending = append(mb.pending, pendingRecv{src: src, commID: commID, tag: tag, req: req, notify: notify, idx: idx})
+	mb.mu.Unlock()
 }
 
 // Isend delivers data (copied) to dst and returns an already-completed

@@ -59,6 +59,19 @@ type Kernel struct {
 	// cycles for the step labels.
 	trc    *trace.Recorder
 	cycles int64
+
+	// Pipelined-cycle bindings: the stage fields and line ranges read by
+	// the consume closures handed to the *Pipelined transposes, plus the
+	// closures themselves, bound once at construction so steady-state
+	// overlapped Cycles create no per-call closures. consumeDur
+	// accumulates in-consume time per leg for the Timings split.
+	cur        [][]complex128
+	lineOff    int
+	yLo, ySpan int
+	consumeDur time.Duration
+
+	zInvConsume, xConsume, zFwdConsume func(lo, hi int)
+	zInvBlockFn, xBlockFn, zFwdBlockFn func(blk, lo, hi int)
 }
 
 // SetTelemetry attaches a per-rank telemetry collector to the kernel and
@@ -133,6 +146,12 @@ func newKernel(world *mpi.Comm, pa, pb, nx, ny, nz int, drop bool, pool *par.Poo
 		planX:       fft.NewRealPlan(nx),
 		bufs:        map[int]*cycleBufs{},
 	}
+	k.zInvConsume = k.consumeZInv
+	k.xConsume = k.consumeX
+	k.zFwdConsume = k.consumeZFwd
+	k.zInvBlockFn = k.zInvBlock
+	k.xBlockFn = k.xBlock
+	k.zFwdBlockFn = k.zFwdBlock
 	k.workers = make([]kernelWorker, pool.Workers())
 	for i := range k.workers {
 		w := &k.workers[i]
@@ -194,97 +213,152 @@ func allocFields(nf, n int) [][]complex128 {
 // The round trip is normalized to the identity. Returns the timing split.
 // The returned fields are workspace buffers reused by the next Cycle call
 // with the same field count.
+//
+// Each transpose feeding an FFT stage runs through the pipelined entry
+// point: with Decomp.Overlap set the exchange is chunked and the FFT stage
+// transforms each completed line range while later chunks are still on the
+// wire; otherwise the transpose completes first and the stage runs once
+// over the full range. Results are bit-identical either way. The Timings
+// split charges in-consume transform time to FFT and the remainder of each
+// leg (pack, wire, unpack) to Transpose.
 func (k *Kernel) Cycle(fields [][]complex128) ([][]complex128, Timings) {
 	var tm Timings
 	d := k.D
 	nz := d.NZ
-	nkx := d.NKx
 	b := k.cycleBufsFor(len(fields))
 
 	cyc0 := time.Now()
 	k.trc.BeginStep(k.cycles)
 
+	// y->z transpose with the inverse z FFT riding on completed kx ranges.
 	t0 := time.Now()
-	zp := d.YtoZ(b.zp, fields)
-	tm.Transpose += time.Since(t0)
+	k.cur = b.zp
+	k.consumeDur = 0
+	zp := d.YtoZPipelined(b.zp, fields, k.zInvConsume)
+	tm.FFT += k.consumeDur
+	tm.Transpose += time.Since(t0) - k.consumeDur
 
-	// Inverse z FFT on every contiguous line of length nz, out-of-place
-	// through the worker's line scratch (in-place would make the complex
-	// plan allocate a temporary per line).
-	kl, kh := d.KxRange()
-	yl, yh := d.YRange()
-	linesZ := (kh - kl) * (yh - yl)
+	// z->x transpose with the fused inverse+forward x transform (physical
+	// excursion) riding on completed y ranges.
 	t0 = time.Now()
-	sp := k.tel.Begin(telemetry.PhaseFFTInverse)
-	k.Pool.ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
-		zline := k.workers[blk].zline
-		for _, fd := range zp {
-			for l := lo; l < hi; l++ {
-				line := fd[l*nz : (l+1)*nz]
-				k.planZ.Inverse(zline, line)
-				copy(line, zline)
-			}
-		}
-	})
-	sp.End()
-	tm.FFT += time.Since(t0)
+	k.cur = b.xp
+	k.consumeDur = 0
+	xp := d.ZtoXPipelined(b.xp, zp, nz, k.xConsume)
+	tm.FFT += k.consumeDur
+	tm.Transpose += time.Since(t0) - k.consumeDur
 
+	// x->z transpose with the normalized forward z FFT riding on completed
+	// y ranges.
 	t0 = time.Now()
-	xp := d.ZtoX(b.xp, zp, nz)
-	tm.Transpose += time.Since(t0)
+	k.cur = b.zp2
+	k.consumeDur = 0
+	zp2 := d.XtoZPipelined(b.zp2, xp, nz, k.zFwdConsume)
+	tm.FFT += k.consumeDur
+	tm.Transpose += time.Since(t0) - k.consumeDur
+	k.cur = nil
 
-	// Inverse then forward x transform per line (physical excursion).
-	zl, zh := d.ZRangeX(nz)
-	linesX := (yh - yl) * (zh - zl)
-	t0 = time.Now()
-	sp = k.tel.Begin(telemetry.PhaseFFTForward)
-	k.Pool.ForBlocksIndexed(linesX, func(blk, lo, hi int) {
-		w := &k.workers[blk]
-		phys, spec, xscr := w.phys, w.spec, w.xscr
-		for _, fd := range xp {
-			for l := lo; l < hi; l++ {
-				line := fd[l*nkx : (l+1)*nkx]
-				copy(spec, line)
-				for i := nkx; i < len(spec); i++ {
-					spec[i] = 0 // Nyquist (if dropped) enters as zero
-				}
-				k.planX.InverseScratch(phys, spec, xscr)
-				k.planX.ForwardScratch(spec, phys, xscr)
-				s := complex(1/float64(k.Nx), 0)
-				for i := range line {
-					line[i] = spec[i] * s
-				}
-			}
-		}
-	})
-	sp.End()
-	tm.FFT += time.Since(t0)
-
-	t0 = time.Now()
-	zp2 := d.XtoZ(b.zp2, xp, nz)
-	tm.Transpose += time.Since(t0)
-
-	// Forward z FFT, normalized.
-	t0 = time.Now()
-	sp = k.tel.Begin(telemetry.PhaseFFTForward)
-	k.Pool.ForBlocksIndexed(linesZ, func(blk, lo, hi int) {
-		zline := k.workers[blk].zline
-		for _, fd := range zp2 {
-			for l := lo; l < hi; l++ {
-				line := fd[l*nz : (l+1)*nz]
-				k.planZ.Forward(zline, line)
-				fft.Scale(zline, 1/float64(nz))
-				copy(line, zline)
-			}
-		}
-	})
-	sp.End()
-	tm.FFT += time.Since(t0)
-
+	// Final z->y transpose: nothing follows it in the cycle, so there is no
+	// compute to hide under and it runs on the plain exchange.
 	t0 = time.Now()
 	out := d.ZtoY(b.out, zp2)
 	tm.Transpose += time.Since(t0)
 	k.trc.EndStep(cyc0, time.Now())
 	k.cycles++
 	return out, tm
+}
+
+// consumeZInv transforms the inverse z FFT lines of the completed local-kx
+// range [lo, hi): z-pencil lines [lo*nyLoc, hi*nyLoc), contiguous lines of
+// length nz, out-of-place through the worker's line scratch (in-place
+// would make the complex plan allocate a temporary per line).
+func (k *Kernel) consumeZInv(lo, hi int) {
+	t0 := time.Now()
+	yl, yh := k.D.YRange()
+	nyLoc := yh - yl
+	k.lineOff = lo * nyLoc
+	sp := k.tel.Begin(telemetry.PhaseFFTInverse)
+	k.Pool.ForBlocksIndexed((hi-lo)*nyLoc, k.zInvBlockFn)
+	sp.End()
+	k.consumeDur += time.Since(t0)
+}
+
+func (k *Kernel) zInvBlock(blk, lo, hi int) {
+	nz := k.D.NZ
+	zline := k.workers[blk].zline
+	off := k.lineOff
+	for _, fd := range k.cur {
+		for l := lo; l < hi; l++ {
+			line := fd[(off+l)*nz : (off+l+1)*nz]
+			k.planZ.Inverse(zline, line)
+			copy(line, zline)
+		}
+	}
+}
+
+// consumeX runs the fused inverse+forward x transform over the completed
+// local-y range [lo, hi): x-pencil lines [lo*nzLoc, hi*nzLoc).
+func (k *Kernel) consumeX(lo, hi int) {
+	t0 := time.Now()
+	zl, zh := k.D.ZRangeX(k.D.NZ)
+	nzLoc := zh - zl
+	k.lineOff = lo * nzLoc
+	sp := k.tel.Begin(telemetry.PhaseFFTForward)
+	k.Pool.ForBlocksIndexed((hi-lo)*nzLoc, k.xBlockFn)
+	sp.End()
+	k.consumeDur += time.Since(t0)
+}
+
+func (k *Kernel) xBlock(blk, lo, hi int) {
+	nkx := k.D.NKx
+	w := &k.workers[blk]
+	phys, spec, xscr := w.phys, w.spec, w.xscr
+	off := k.lineOff
+	s := complex(1/float64(k.Nx), 0)
+	for _, fd := range k.cur {
+		for l := lo; l < hi; l++ {
+			line := fd[(off+l)*nkx : (off+l+1)*nkx]
+			copy(spec, line)
+			for i := nkx; i < len(spec); i++ {
+				spec[i] = 0 // Nyquist (if dropped) enters as zero
+			}
+			k.planX.InverseScratch(phys, spec, xscr)
+			k.planX.ForwardScratch(spec, phys, xscr)
+			for i := range line {
+				line[i] = spec[i] * s
+			}
+		}
+	}
+}
+
+// consumeZFwd runs the normalized forward z FFT over the completed local-y
+// range [lo, hi). After x->z the completed lines are strided — (kx*nyLoc+y)
+// for every local kx with y in [lo, hi) — so the pool iterates a dense
+// (kx, y-in-range) index and maps it back to the z-pencil line.
+func (k *Kernel) consumeZFwd(lo, hi int) {
+	t0 := time.Now()
+	kl, kh := k.D.KxRange()
+	k.yLo, k.ySpan = lo, hi-lo
+	sp := k.tel.Begin(telemetry.PhaseFFTForward)
+	k.Pool.ForBlocksIndexed((kh-kl)*(hi-lo), k.zFwdBlockFn)
+	sp.End()
+	k.consumeDur += time.Since(t0)
+}
+
+func (k *Kernel) zFwdBlock(blk, lo, hi int) {
+	d := k.D
+	nz := d.NZ
+	yl, yh := d.YRange()
+	nyLoc := yh - yl
+	zline := k.workers[blk].zline
+	span := k.ySpan
+	for _, fd := range k.cur {
+		for l := lo; l < hi; l++ {
+			kx := l / span
+			li := kx*nyLoc + k.yLo + l - kx*span
+			line := fd[li*nz : (li+1)*nz]
+			k.planZ.Forward(zline, line)
+			fft.Scale(zline, 1/float64(nz))
+			copy(line, zline)
+		}
+	}
 }

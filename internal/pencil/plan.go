@@ -17,30 +17,83 @@ type planKey struct {
 	nf   int
 }
 
+// defaultPipelineChunks is the pipeline depth RunPipelined uses when
+// Decomp.PipelineChunks is unset: enough stages that the exposed tail is a
+// quarter of the wire time, shallow enough that per-message overhead stays
+// negligible against the pencil block sizes.
+const defaultPipelineChunks = 4
+
 // TransposePlan is the preplanned form of one global transpose: the
 // alltoallv count/displacement tables, the persistent 1x send and receive
 // buffers, and the pack/unpack kernels bound once at construction so the
 // steady-state Run path allocates nothing. Plans are owned by a Decomp and
 // obtained with Decomp.Plan; the four transpose methods use them
 // internally.
+//
+// Every plan also knows how to run chunked: the pack/unpack kernels take a
+// line range over the chunk axis — the line coordinate of the pencil that
+// is NOT redistributed by the exchange (local kx for the CommB directions,
+// local y for the CommA directions) — so RunPipelined can move the
+// transpose through the wire in chunks and hand each completed line range
+// to a consumer while later chunks are still in flight.
 type TransposePlan struct {
 	d    *Decomp
 	dir  TransposeDir
 	comm *mpi.Comm
 	np   int // peer count (PB for CommB directions, PA for CommA)
 	nf   int
+	zLen int
 
 	srcLen, dstLen int // per-field lengths
 
+	// lineN is the chunk-axis extent; every peer block is lineN lines of
+	// perLineSend/perLineRecv[b] elements each.
+	lineN                  int
+	perLineSend            []int
+	perLineRecv            []int
 	sendCounts, sendDispls []int
 	recvCounts, recvDispls []int
 	sbuf, rbuf             []complex128
+	// pbuf is the buffer the pack kernels write to: sbuf for the serial
+	// exchange, the current parity's wire arena for the pipelined one.
+	pbuf []complex128
 
-	// Per-call bindings read by the bound kernels; set by Run before the
-	// pack/unpack loops and cleared afterwards.
+	// Per-call bindings read by the bound kernels; set by Run/RunPipelined
+	// before the pack/unpack loops and cleared afterwards.
 	src, dst [][]complex128
 
-	pack, unpack func(lo, hi int)
+	// packBlock packs peer b's block restricted to chunk-axis lines
+	// [lo, hi) at pbuf[pos]; unpackBlock is its inverse, reading from an
+	// arbitrary buffer so arrivals can be unpacked straight out of the
+	// message payload without an intermediate copy.
+	packBlock   func(b, lo, hi, pos int)
+	unpackBlock func(b, lo, hi int, buf []complex128, pos int)
+	pack        func(lo, hi int) // pool-block forms over the peer range,
+	unpack      func(lo, hi int) // full chunk axis (the serial exchange)
+
+	// Pipelined-exchange state, built lazily by ensurePipeline. The
+	// chunk-major tables index [c*np+b]; everything — including the wire
+	// arenas the messages travel in and their pre-boxed payload values — is
+	// pre-sized, so the steady-state RunPipelined performs no per-message
+	// allocation at all.
+	chunks                         int
+	pipeSendCounts, pipeSendDispls []int
+	pipeRecvCounts, pipeRecvDispls []int
+	stream                         *mpi.Stream
+	idxChunk, idxPeer              []int // posted stream index -> (chunk, peer)
+	arrived                        []int // per-chunk arrival counters, reused
+	curChunk                       int
+	pipePack                       func(lo, hi int)
+	// Parity double-buffered wire arenas: exchange k packs into wire[k%2],
+	// which peers read in place (mpi.StreamSendPrepacked — no eager copy).
+	// Reuse happens two exchanges later, by which point every peer has
+	// provably drained the older exchange: a peer cannot send in exchange
+	// k+1 before it finished unpacking all of exchange k. wireBox holds the
+	// arenas' per-(chunk, peer) subslices pre-converted to `any`, so the hot
+	// path pays no interface-boxing allocation either.
+	wire    [2][]complex128
+	wireBox [2][]any
+	parity  int
 }
 
 // chunkLen returns the size of peer r's chunk of n items over p ranks.
@@ -97,55 +150,67 @@ func (d *Decomp) buildPlan(dir TransposeDir, zLen, nf int) *TransposePlan {
 	nz := d.NZ
 	nkx := d.NKx
 
-	p := &TransposePlan{d: d, dir: dir, nf: nf}
+	p := &TransposePlan{d: d, dir: dir, nf: nf, zLen: zLen}
 	switch dir {
 	case DirYtoZ, DirZtoY:
 		p.comm = d.B.Comm
 		p.np = d.PB
+		p.lineN = nkxLoc // chunk axis: local kx (not redistributed by CommB)
 	case DirZtoX, DirXtoZ:
 		p.comm = d.A.Comm
 		p.np = d.PA
+		p.lineN = nyLoc // chunk axis: local y (not redistributed by CommA)
 	default:
 		panic(fmt.Sprintf("pencil: unknown transpose direction %d", int(dir)))
 	}
 
-	var stot, rtot int
+	// Per-line block sizes: the elements exchanged with peer b for one line
+	// of the chunk axis. The full tables are lineN of these per peer; the
+	// pipelined tables carve the same totals into chunk-major pieces.
+	p.perLineSend = make([]int, p.np)
+	p.perLineRecv = make([]int, p.np)
 	switch dir {
 	case DirYtoZ:
 		// Send peer b my kz block restricted to b's y chunk; receive b's kz
 		// chunk restricted to my y block.
-		blk := nf * nkxLoc
-		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
-			func(b int) int { return blk * nkz * chunkLen(ny, d.PB, b) },
-			func(b int) int { return blk * chunkLen(nz, d.PB, b) * nyLoc })
+		for b := 0; b < p.np; b++ {
+			p.perLineSend[b] = nf * nkz * chunkLen(ny, d.PB, b)
+			p.perLineRecv[b] = nf * chunkLen(nz, d.PB, b) * nyLoc
+		}
 		p.srcLen, p.dstLen = nkxLoc*nkz*ny, nkxLoc*nyLoc*nz
-		p.pack = p.packYtoZ
-		p.unpack = p.unpackYtoZ
+		p.packBlock = p.packYtoZBlock
+		p.unpackBlock = p.unpackYtoZBlock
 	case DirZtoY:
-		blk := nf * nkxLoc
-		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
-			func(b int) int { return blk * chunkLen(nz, d.PB, b) * nyLoc },
-			func(b int) int { return blk * nkz * chunkLen(ny, d.PB, b) })
+		for b := 0; b < p.np; b++ {
+			p.perLineSend[b] = nf * chunkLen(nz, d.PB, b) * nyLoc
+			p.perLineRecv[b] = nf * nkz * chunkLen(ny, d.PB, b)
+		}
 		p.srcLen, p.dstLen = nkxLoc*nyLoc*nz, nkxLoc*nkz*ny
-		p.pack = p.packZtoY
-		p.unpack = p.unpackZtoY
+		p.packBlock = p.packZtoYBlock
+		p.unpackBlock = p.unpackZtoYBlock
 	case DirZtoX:
-		blk := nf * nyLoc
-		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
-			func(a int) int { return blk * nkxLoc * chunkLen(zLen, d.PA, a) },
-			func(a int) int { return blk * chunkLen(nkx, d.PA, a) * nzLoc })
+		for a := 0; a < p.np; a++ {
+			p.perLineSend[a] = nf * nkxLoc * chunkLen(zLen, d.PA, a)
+			p.perLineRecv[a] = nf * chunkLen(nkx, d.PA, a) * nzLoc
+		}
 		p.srcLen, p.dstLen = nkxLoc*nyLoc*zLen, nyLoc*nzLoc*nkx
-		p.pack = p.packZtoX(zLen)
-		p.unpack = p.unpackZtoX(zLen)
+		p.packBlock = p.packZtoXBlock
+		p.unpackBlock = p.unpackZtoXBlock
 	case DirXtoZ:
-		blk := nf * nyLoc
-		p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
-			func(a int) int { return blk * chunkLen(nkx, d.PA, a) * nzLoc },
-			func(a int) int { return blk * nkxLoc * chunkLen(zLen, d.PA, a) })
+		for a := 0; a < p.np; a++ {
+			p.perLineSend[a] = nf * chunkLen(nkx, d.PA, a) * nzLoc
+			p.perLineRecv[a] = nf * nkxLoc * chunkLen(zLen, d.PA, a)
+		}
 		p.srcLen, p.dstLen = nyLoc*nzLoc*nkx, nkxLoc*nyLoc*zLen
-		p.pack = p.packXtoZ(zLen)
-		p.unpack = p.unpackXtoZ(zLen)
+		p.packBlock = p.packXtoZBlock
+		p.unpackBlock = p.unpackXtoZBlock
 	}
+	var stot, rtot int
+	p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls, stot, rtot = buildTables(p.np,
+		func(b int) int { return p.lineN * p.perLineSend[b] },
+		func(b int) int { return p.lineN * p.perLineRecv[b] })
+	p.pack = p.packPeers
+	p.unpack = p.unpackPeers
 	// Persistent 1x buffers: exactly one send and one receive image of the
 	// local data, reused for the life of the plan (paper §4.3).
 	p.sbuf = make([]complex128, stot)
@@ -153,12 +218,137 @@ func (d *Decomp) buildPlan(dir TransposeDir, zLen, nf int) *TransposePlan {
 	return p
 }
 
-// Run executes the planned transpose: pack into the persistent send
-// buffer, exchange into the persistent receive buffer on the configured
-// schedule, unpack into dst. A nil dst allocates fresh per-field slices;
-// passing a reused dst makes the call allocation-free at steady state
-// (aside from the per-message payload copies inside the in-process MPI).
-func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
+// Chunks returns the pipeline depth RunPipelined will use for this plan:
+// Decomp.PipelineChunks (default 4) clamped to the smallest chunk-axis
+// extent owned by any rank of the communicator — floor(NKx/PA) lines of
+// local kx for the CommB directions, floor(NY/PB) lines of local y for the
+// CommA directions. Clamping to the global minimum (not the local extent)
+// makes the depth identical on every rank, so per-call message counts are
+// uniform and the schedule's chunked shape matches the measured traffic on
+// uneven decompositions.
+func (p *TransposePlan) Chunks() int {
+	switch p.dir {
+	case DirYtoZ, DirZtoY:
+		return p.d.chunksFor(p.d.NKx / p.d.PA)
+	default:
+		return p.d.chunksFor(p.d.NY / p.d.PB)
+	}
+}
+
+// chunksFor clamps the configured pipeline depth to a chunk-axis extent.
+func (d *Decomp) chunksFor(minLine int) int {
+	c := d.PipelineChunks
+	if c <= 0 {
+		c = defaultPipelineChunks
+	}
+	if c > minLine {
+		c = minLine
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// OverlapChunks returns the pipeline depths the pipelined exchange uses on
+// this decomposition — ca for the CommA directions (chunk axis: local y),
+// cb for CommB (chunk axis: local kx) — or (0, 0) when overlap is off.
+// Schedule emission uses this so the declared chunked shape is derived from
+// the same clamping the executing plans apply.
+func (d *Decomp) OverlapChunks() (ca, cb int) {
+	if !d.Overlap {
+		return 0, 0
+	}
+	return OverlapChunksFor(d.NKx, d.NY, d.PA, d.PB, d.PipelineChunks)
+}
+
+// OverlapChunksFor computes the same per-direction pipeline depths as
+// Decomp.OverlapChunks from bare decomposition parameters (requested = 0
+// selects the default depth). It lets schedule emitters describe an
+// overlapped program without constructing a live decomposition.
+func OverlapChunksFor(nkx, ny, pa, pb, requested int) (ca, cb int) {
+	d := Decomp{NKx: nkx, NY: ny, PA: pa, PB: pb, PipelineChunks: requested}
+	return d.chunksFor(ny / pb), d.chunksFor(nkx / pa)
+}
+
+// ensurePipeline builds the chunk-major tables, the stream, and the posted
+// index maps on the plan's first pipelined run.
+func (p *TransposePlan) ensurePipeline() {
+	if p.stream != nil {
+		return
+	}
+	np := p.np
+	C := p.Chunks()
+	p.chunks = C
+	p.pipeSendCounts = make([]int, C*np)
+	p.pipeSendDispls = make([]int, C*np)
+	p.pipeRecvCounts = make([]int, C*np)
+	p.pipeRecvDispls = make([]int, C*np)
+	spos, rpos := 0, 0
+	for c := 0; c < C; c++ {
+		cl := chunkLen(p.lineN, C, c)
+		for b := 0; b < np; b++ {
+			p.pipeSendCounts[c*np+b] = cl * p.perLineSend[b]
+			p.pipeSendDispls[c*np+b] = spos
+			spos += p.pipeSendCounts[c*np+b]
+			p.pipeRecvCounts[c*np+b] = cl * p.perLineRecv[b]
+			p.pipeRecvDispls[c*np+b] = rpos
+			rpos += p.pipeRecvCounts[c*np+b]
+		}
+	}
+	for par := 0; par < 2; par++ {
+		p.wire[par] = make([]complex128, spos)
+		p.wireBox[par] = make([]any, C*np)
+		for i, cnt := range p.pipeSendCounts {
+			o := p.pipeSendDispls[i]
+			p.wireBox[par][i] = p.wire[par][o : o+cnt]
+		}
+	}
+	flight := C * (np - 1)
+	p.stream = mpi.NewStream(p.comm, flight)
+	p.idxChunk = make([]int, flight)
+	p.idxPeer = make([]int, flight)
+	me := p.comm.Rank()
+	i := 0
+	for c := 0; c < C; c++ {
+		for s := 1; s < np; s++ {
+			p.idxChunk[i] = c
+			p.idxPeer[i] = (me - s + np) % np
+			i++
+		}
+	}
+	p.arrived = make([]int, C)
+	p.pipePack = p.packChunk
+}
+
+// packPeers and unpackPeers are the pool-block forms over the peer range
+// used by the serial exchange: each peer's full block at its table
+// displacement.
+func (p *TransposePlan) packPeers(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		p.packBlock(b, 0, p.lineN, p.sendDispls[b])
+	}
+}
+
+func (p *TransposePlan) unpackPeers(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		p.unpackBlock(b, 0, p.lineN, p.rbuf, p.recvDispls[b])
+	}
+}
+
+// packChunk is the pool-block form packing chunk curChunk of every peer in
+// the range at the chunk-major displacements.
+func (p *TransposePlan) packChunk(lo, hi int) {
+	c := p.curChunk
+	clo, chi := Chunk(p.lineN, p.chunks, c)
+	for b := lo; b < hi; b++ {
+		p.packBlock(b, clo, chi, p.pipeSendDispls[c*p.np+b])
+	}
+}
+
+// checkBuffers validates the per-field source and destination slices,
+// allocating a destination when dst is nil.
+func (p *TransposePlan) checkBuffers(dst, src [][]complex128) [][]complex128 {
 	if len(src) != p.nf {
 		panic(fmt.Sprintf("pencil: plan for %d fields got %d", p.nf, len(src)))
 	}
@@ -168,29 +358,43 @@ func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
 		}
 	}
 	if dst == nil {
-		dst = AllocFields(p.nf, p.dstLen)
-	} else {
-		if len(dst) != p.nf {
-			panic(fmt.Sprintf("pencil: plan for %d fields got %d dst", p.nf, len(dst)))
-		}
-		for f := range dst {
-			if len(dst[f]) < p.dstLen {
-				panic(fmt.Sprintf("pencil: %v dst field %d length %d < %d", p.dir, f, len(dst[f]), p.dstLen))
-			}
+		return AllocFields(p.nf, p.dstLen)
+	}
+	if len(dst) != p.nf {
+		panic(fmt.Sprintf("pencil: plan for %d fields got %d dst", p.nf, len(dst)))
+	}
+	for f := range dst {
+		if len(dst[f]) < p.dstLen {
+			panic(fmt.Sprintf("pencil: %v dst field %d length %d < %d", p.dir, f, len(dst[f]), p.dstLen))
 		}
 	}
+	return dst
+}
+
+// Run executes the planned transpose: pack into the persistent send
+// buffer, exchange into the persistent receive buffer on the configured
+// schedule, unpack into dst. A nil dst allocates fresh per-field slices;
+// passing a reused dst makes the call allocation-free at steady state
+// (aside from the per-message payload copies inside the in-process MPI).
+func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
+	dst = p.checkBuffers(dst, src)
 	d := p.d
 	sp := d.Telemetry.Begin(telemetry.PhaseTransposeAB)
 	p.src, p.dst = src, dst
+	p.pbuf = p.sbuf
 	d.Pool.ForBlocks(p.np, p.pack)
 	var xt0 time.Time
 	if d.Trace != nil {
 		xt0 = time.Now()
 	}
+	var err error
 	if d.Overlap {
-		mpi.AlltoallvOverlapInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
+		_, err = mpi.AlltoallvOverlapInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
 	} else {
-		mpi.AlltoallvInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
+		_, err = mpi.AlltoallvInto(p.comm, p.rbuf, p.sbuf, p.sendCounts, p.sendDispls, p.recvCounts, p.recvDispls)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("pencil: %v exchange: %v", p.dir, err))
 	}
 	if d.Trace != nil {
 		// The wire interval: the alltoallv alone, between pack and unpack —
@@ -207,206 +411,290 @@ func (p *TransposePlan) Run(dst, src [][]complex128) [][]complex128 {
 	return dst
 }
 
-// The eight pack/unpack kernels below are the seed's loops, bound once per
-// plan so the hot path creates no closures. Each runs over the peer range
-// [lo, hi) handed out by the pool.
-
-// packYtoZ: per peer b, layout [f][kx][kz][y in b's chunk].
-func (p *TransposePlan) packYtoZ(lo, hi int) {
+// RunPipelined executes the transpose as a chunked pipeline: the chunk axis
+// is split into Chunks() pieces, each packed and sent per peer as its own
+// stream message, and arrivals are unpacked the moment they land. After
+// every chunk's receives are in, consume(lo, hi) is invoked with the
+// completed chunk-axis line range — the hook through which the following
+// FFT stage runs on already-received pencils while later chunks are still
+// on the wire. consume may be nil. Callers must pass ranges to consume
+// covering follow-on work for exactly the lines [lo, hi); RunPipelined
+// guarantees the union of the ranges is [0, lineN) in ascending order.
+//
+// The destination is bit-identical to Run's: the same elements land in the
+// same slots, only the order of the copies differs. When overlap is off or
+// the communicator is trivial the call degrades to Run followed by a single
+// consume over the full line range, so callers need no serial branch.
+//
+// The transpose phase span is segmented around each consume call: the
+// consumer's own phase instrumentation runs outside PhaseTransposeAB, so
+// phases still tile the step even though transpose and FFT work interleave.
+func (p *TransposePlan) RunPipelined(dst, src [][]complex128, consume func(lo, hi int)) [][]complex128 {
 	d := p.d
-	kl, kh := d.KxRange()
-	nkxLoc := kh - kl
+	if !d.Overlap || p.np == 1 {
+		dst = p.Run(dst, src)
+		if consume != nil {
+			consume(0, p.lineN)
+		}
+		return dst
+	}
+	p.ensurePipeline()
+	dst = p.checkBuffers(dst, src)
+	np := p.np
+	C := p.chunks
+	me := p.comm.Rank()
+	tracing := d.Trace != nil
+	sp := d.Telemetry.Begin(telemetry.PhaseTransposeAB)
+	p.src, p.dst = src, dst
+	// Alternate wire arenas: peers read our chunks in place, and the
+	// collective structure guarantees they have drained exchange k before we
+	// repack its arena in exchange k+2 (see the wire field's comment).
+	p.parity ^= 1
+	p.pbuf = p.wire[p.parity]
+	for c := range p.arrived[:C] {
+		p.arrived[c] = 0
+	}
+	// Post every receive up front, chunk-major: the runtime's per-source
+	// FIFO then guarantees peer b's k-th message completes the k-th posted
+	// receive for b, so posted index identifies (chunk, peer) exactly.
+	for c := 0; c < C; c++ {
+		for s := 1; s < np; s++ {
+			p.stream.Post((me - s + np) % np)
+		}
+	}
+	var xt0, xt1 time.Time
+	if tracing {
+		xt0 = time.Now()
+	}
+	p.sendChunk(0)
+	for c := 0; c < C; c++ {
+		// Keep the pipe full: pack and fire the next chunk before draining
+		// this one, so our peers always have our next block in flight while
+		// we unpack and consume the current one.
+		if c+1 < C {
+			p.sendChunk(c + 1)
+		}
+		for p.arrived[c] < np-1 {
+			var t0 time.Time
+			if tracing {
+				t0 = time.Now()
+			}
+			idx, b, payload := p.stream.Next()
+			cc := p.idxChunk[idx]
+			blk := payload.([]complex128)
+			if len(blk) != p.pipeRecvCounts[cc*np+b] {
+				panic((&mpi.CountMismatchError{Op: "pencil.RunPipelined", Rank: me, Src: b,
+					Want: p.pipeRecvCounts[cc*np+b], Got: len(blk)}).Error())
+			}
+			if tracing {
+				// The wait for this arrival: ~zero when the block was already
+				// in — hidden wire time — and the real exposed wait otherwise.
+				xt1 = time.Now()
+				d.Trace.Peer(b, int64(16*len(blk)), t0, xt1)
+			}
+			lo, hi := Chunk(p.lineN, C, cc)
+			p.unpackBlock(b, lo, hi, blk, 0)
+			p.arrived[cc]++
+		}
+		if consume != nil {
+			sp.End()
+			lo, hi := Chunk(p.lineN, C, c)
+			consume(lo, hi)
+			sp = d.Telemetry.Begin(telemetry.PhaseTransposeAB)
+		}
+	}
+	p.stream.Reset()
+	if tracing {
+		if xt1.IsZero() {
+			xt1 = time.Now()
+		}
+		d.Trace.ExchangePipelined(commOp(p.dir), C, int64(16*(len(p.sbuf)+len(p.rbuf))), xt0, xt1)
+	}
+	p.src, p.dst = nil, nil
+	sp.End()
+	d.Telemetry.AddComm(commOp(p.dir), int64(16*(len(p.sbuf)+len(p.rbuf))), int64(C*(np-1)))
+	return dst
+}
+
+// sendChunk packs chunk c (pool-parallel over peers) into the current
+// parity's wire arena, fires its per-peer stream messages as pre-boxed
+// in-place payloads (no copy, no allocation), and unpacks the self block
+// straight out of the arena — it never crosses the wire, so it needs
+// neither message nor receive-buffer round trip.
+func (p *TransposePlan) sendChunk(c int) {
+	np := p.np
+	me := p.comm.Rank()
+	p.curChunk = c
+	p.d.Pool.ForBlocks(np, p.pipePack)
+	for s := 1; s < np; s++ {
+		dst := (me + s) % np
+		mpi.StreamSendPrepacked(p.comm, dst, p.wireBox[p.parity][c*np+dst])
+	}
+	lo, hi := Chunk(p.lineN, p.chunks, c)
+	p.unpackBlock(me, lo, hi, p.pbuf, p.pipeSendDispls[c*np+me])
+}
+
+// The eight pack/unpack kernels below are the seed's loops in block form:
+// peer b's block restricted to chunk-axis lines [lo, hi), packed at (or
+// unpacked from) buffer offset pos. The serial exchange calls them with the
+// full line range at the plan's table displacements; the pipelined exchange
+// calls them per (chunk, peer). Element order within a restricted block is
+// the restriction of the serial order, so both sides of the wire agree.
+
+// packYtoZBlock: to peer b, layout [f][kx in lines][kz][y in b's chunk].
+func (p *TransposePlan) packYtoZBlock(b, lo, hi, pos int) {
+	d := p.d
 	zl, zh := d.KzRangeY()
 	nkz := zh - zl
-	for b := lo; b < hi; b++ {
-		pyl, pyh := Chunk(d.NY, d.PB, b)
-		pos := p.sendDispls[b]
-		for f := 0; f < p.nf; f++ {
-			fd := p.src[f]
-			for kx := 0; kx < nkxLoc; kx++ {
-				for kz := 0; kz < nkz; kz++ {
-					base := (kx*nkz + kz) * d.NY
-					for y := pyl; y < pyh; y++ {
-						p.sbuf[pos] = fd[base+y]
-						pos++
-					}
+	pyl, pyh := Chunk(d.NY, d.PB, b)
+	for f := 0; f < p.nf; f++ {
+		fd := p.src[f]
+		for kx := lo; kx < hi; kx++ {
+			for kz := 0; kz < nkz; kz++ {
+				base := (kx*nkz + kz) * d.NY
+				for y := pyl; y < pyh; y++ {
+					p.pbuf[pos] = fd[base+y]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-// unpackYtoZ: from peer b, layout [f][kx][kz in b's chunk][y mine].
-func (p *TransposePlan) unpackYtoZ(lo, hi int) {
+// unpackYtoZBlock: from peer b, layout [f][kx in lines][kz in b's chunk][y mine].
+func (p *TransposePlan) unpackYtoZBlock(b, lo, hi int, buf []complex128, pos int) {
 	d := p.d
-	kl, kh := d.KxRange()
-	nkxLoc := kh - kl
 	yl, yh := d.YRange()
 	nyLoc := yh - yl
-	for b := lo; b < hi; b++ {
-		pzl, pzh := Chunk(d.NZ, d.PB, b)
-		pos := p.recvDispls[b]
-		for f := 0; f < p.nf; f++ {
-			fd := p.dst[f]
-			for kx := 0; kx < nkxLoc; kx++ {
-				for kz := pzl; kz < pzh; kz++ {
-					for y := 0; y < nyLoc; y++ {
-						fd[(kx*nyLoc+y)*d.NZ+kz] = p.rbuf[pos]
-						pos++
-					}
+	pzl, pzh := Chunk(d.NZ, d.PB, b)
+	for f := 0; f < p.nf; f++ {
+		fd := p.dst[f]
+		for kx := lo; kx < hi; kx++ {
+			for kz := pzl; kz < pzh; kz++ {
+				for y := 0; y < nyLoc; y++ {
+					fd[(kx*nyLoc+y)*d.NZ+kz] = buf[pos]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-// packZtoY: to peer b, layout [f][kx][kz in b's chunk][y mine] — the exact
-// inverse of unpackYtoZ.
-func (p *TransposePlan) packZtoY(lo, hi int) {
+// packZtoYBlock: to peer b, layout [f][kx in lines][kz in b's chunk][y mine]
+// — the exact inverse of unpackYtoZBlock.
+func (p *TransposePlan) packZtoYBlock(b, lo, hi, pos int) {
 	d := p.d
-	kl, kh := d.KxRange()
-	nkxLoc := kh - kl
 	yl, yh := d.YRange()
 	nyLoc := yh - yl
-	for b := lo; b < hi; b++ {
-		pzl, pzh := Chunk(d.NZ, d.PB, b)
-		pos := p.sendDispls[b]
-		for f := 0; f < p.nf; f++ {
-			fd := p.src[f]
-			for kx := 0; kx < nkxLoc; kx++ {
-				for kz := pzl; kz < pzh; kz++ {
-					for y := 0; y < nyLoc; y++ {
-						p.sbuf[pos] = fd[(kx*nyLoc+y)*d.NZ+kz]
-						pos++
-					}
+	pzl, pzh := Chunk(d.NZ, d.PB, b)
+	for f := 0; f < p.nf; f++ {
+		fd := p.src[f]
+		for kx := lo; kx < hi; kx++ {
+			for kz := pzl; kz < pzh; kz++ {
+				for y := 0; y < nyLoc; y++ {
+					p.pbuf[pos] = fd[(kx*nyLoc+y)*d.NZ+kz]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-func (p *TransposePlan) unpackZtoY(lo, hi int) {
+func (p *TransposePlan) unpackZtoYBlock(b, lo, hi int, buf []complex128, pos int) {
 	d := p.d
-	kl, kh := d.KxRange()
-	nkxLoc := kh - kl
 	zl, zh := d.KzRangeY()
 	nkz := zh - zl
-	for b := lo; b < hi; b++ {
-		pyl, pyh := Chunk(d.NY, d.PB, b)
-		pos := p.recvDispls[b]
-		for f := 0; f < p.nf; f++ {
-			fd := p.dst[f]
-			for kx := 0; kx < nkxLoc; kx++ {
-				for kz := 0; kz < nkz; kz++ {
-					base := (kx*nkz + kz) * d.NY
-					for y := pyl; y < pyh; y++ {
-						fd[base+y] = p.rbuf[pos]
-						pos++
-					}
+	pyl, pyh := Chunk(d.NY, d.PB, b)
+	for f := 0; f < p.nf; f++ {
+		fd := p.dst[f]
+		for kx := lo; kx < hi; kx++ {
+			for kz := 0; kz < nkz; kz++ {
+				base := (kx*nkz + kz) * d.NY
+				for y := pyl; y < pyh; y++ {
+					fd[base+y] = buf[pos]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-// packZtoX: to peer a, layout [f][kx mine][y][z in a's chunk].
-func (p *TransposePlan) packZtoX(zLen int) func(lo, hi int) {
+// packZtoXBlock: to peer a, layout [f][kx mine][y in lines][z in a's chunk].
+func (p *TransposePlan) packZtoXBlock(a, lo, hi, pos int) {
 	d := p.d
 	kl, kh := d.KxRange()
 	nkxLoc := kh - kl
 	yl, yh := d.YRange()
 	nyLoc := yh - yl
-	return func(lo, hi int) {
-		for a := lo; a < hi; a++ {
-			pzl, pzh := Chunk(zLen, d.PA, a)
-			pos := p.sendDispls[a]
-			for f := 0; f < p.nf; f++ {
-				fd := p.src[f]
-				for kx := 0; kx < nkxLoc; kx++ {
-					for y := 0; y < nyLoc; y++ {
-						base := (kx*nyLoc + y) * zLen
-						for z := pzl; z < pzh; z++ {
-							p.sbuf[pos] = fd[base+z]
-							pos++
-						}
-					}
+	zLen := p.zLen
+	pzl, pzh := Chunk(zLen, d.PA, a)
+	for f := 0; f < p.nf; f++ {
+		fd := p.src[f]
+		for kx := 0; kx < nkxLoc; kx++ {
+			for y := lo; y < hi; y++ {
+				base := (kx*nyLoc + y) * zLen
+				for z := pzl; z < pzh; z++ {
+					p.pbuf[pos] = fd[base+z]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-// unpackZtoX: from peer a, layout [f][kx in a's chunk][y][z mine].
-func (p *TransposePlan) unpackZtoX(zLen int) func(lo, hi int) {
+// unpackZtoXBlock: from peer a, layout [f][kx in a's chunk][y in lines][z mine].
+func (p *TransposePlan) unpackZtoXBlock(a, lo, hi int, buf []complex128, pos int) {
 	d := p.d
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	zxl, zxh := d.ZRangeX(zLen)
+	zxl, zxh := d.ZRangeX(p.zLen)
 	nzLoc := zxh - zxl
-	return func(lo, hi int) {
-		for a := lo; a < hi; a++ {
-			pkl, pkh := Chunk(d.NKx, d.PA, a)
-			pos := p.recvDispls[a]
-			for f := 0; f < p.nf; f++ {
-				fd := p.dst[f]
-				for kx := pkl; kx < pkh; kx++ {
-					for y := 0; y < nyLoc; y++ {
-						for z := 0; z < nzLoc; z++ {
-							fd[(y*nzLoc+z)*d.NKx+kx] = p.rbuf[pos]
-							pos++
-						}
-					}
+	pkl, pkh := Chunk(d.NKx, d.PA, a)
+	for f := 0; f < p.nf; f++ {
+		fd := p.dst[f]
+		for kx := pkl; kx < pkh; kx++ {
+			for y := lo; y < hi; y++ {
+				for z := 0; z < nzLoc; z++ {
+					fd[(y*nzLoc+z)*d.NKx+kx] = buf[pos]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-func (p *TransposePlan) packXtoZ(zLen int) func(lo, hi int) {
+func (p *TransposePlan) packXtoZBlock(a, lo, hi, pos int) {
 	d := p.d
-	yl, yh := d.YRange()
-	nyLoc := yh - yl
-	zxl, zxh := d.ZRangeX(zLen)
+	zxl, zxh := d.ZRangeX(p.zLen)
 	nzLoc := zxh - zxl
-	return func(lo, hi int) {
-		for a := lo; a < hi; a++ {
-			pkl, pkh := Chunk(d.NKx, d.PA, a)
-			pos := p.sendDispls[a]
-			for f := 0; f < p.nf; f++ {
-				fd := p.src[f]
-				for kx := pkl; kx < pkh; kx++ {
-					for y := 0; y < nyLoc; y++ {
-						for z := 0; z < nzLoc; z++ {
-							p.sbuf[pos] = fd[(y*nzLoc+z)*d.NKx+kx]
-							pos++
-						}
-					}
+	pkl, pkh := Chunk(d.NKx, d.PA, a)
+	for f := 0; f < p.nf; f++ {
+		fd := p.src[f]
+		for kx := pkl; kx < pkh; kx++ {
+			for y := lo; y < hi; y++ {
+				for z := 0; z < nzLoc; z++ {
+					p.pbuf[pos] = fd[(y*nzLoc+z)*d.NKx+kx]
+					pos++
 				}
 			}
 		}
 	}
 }
 
-func (p *TransposePlan) unpackXtoZ(zLen int) func(lo, hi int) {
+func (p *TransposePlan) unpackXtoZBlock(a, lo, hi int, buf []complex128, pos int) {
 	d := p.d
 	kl, kh := d.KxRange()
 	nkxLoc := kh - kl
 	yl, yh := d.YRange()
 	nyLoc := yh - yl
-	return func(lo, hi int) {
-		for a := lo; a < hi; a++ {
-			pzl, pzh := Chunk(zLen, d.PA, a)
-			pos := p.recvDispls[a]
-			for f := 0; f < p.nf; f++ {
-				fd := p.dst[f]
-				for kx := 0; kx < nkxLoc; kx++ {
-					for y := 0; y < nyLoc; y++ {
-						base := (kx*nyLoc + y) * zLen
-						for z := pzl; z < pzh; z++ {
-							fd[base+z] = p.rbuf[pos]
-							pos++
-						}
-					}
+	zLen := p.zLen
+	pzl, pzh := Chunk(zLen, d.PA, a)
+	for f := 0; f < p.nf; f++ {
+		fd := p.dst[f]
+		for kx := 0; kx < nkxLoc; kx++ {
+			for y := lo; y < hi; y++ {
+				base := (kx*nyLoc + y) * zLen
+				for z := pzl; z < pzh; z++ {
+					fd[base+z] = buf[pos]
+					pos++
 				}
 			}
 		}

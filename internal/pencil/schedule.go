@@ -6,12 +6,16 @@ import "channeldns/internal/schedule"
 // cycle (YtoZ, ZtoX, XtoZ, ZtoY on the spectral grid) over nf fields as
 // this decomposition executes it — the live analog of the Table 5
 // benchmark program. Each transpose packs and unpacks through the plan's
-// persistent buffers (4 memory passes).
+// persistent buffers (4 memory passes). With Overlap on the cycle runs the
+// chunked pipelined exchange, so the emitted transposes carry the same
+// per-direction pipeline depths the plans use.
 func (d *Decomp) CycleSchedule(nf int) *schedule.Schedule {
+	ca, cb := d.OverlapChunks()
 	return schedule.TransposeCycle(schedule.TransposeCycleParams{
 		Nx: 2 * d.NKx, NKx: d.NKx, Ny: d.NY, Nz: d.NZ,
 		PA: d.PA, PB: d.PB,
 		Fields:     nf,
 		PackPasses: 4,
+		ChunksA:    ca, ChunksB: cb,
 	})
 }

@@ -25,6 +25,14 @@ type TimestepParams struct {
 	// around each transpose (4: pack read+write, unpack read+write).
 	// Zero suppresses the Reorder ops entirely.
 	PackPasses float64
+	// ChunksA, ChunksB are the pipeline depths of the overlapped (chunked)
+	// exchange on the CommA and CommB directions — pencil.Decomp
+	// OverlapChunks() when the live run pipelines, 0 when it runs the
+	// one-shot serial exchange. Both > 0 switches the program to its
+	// overlapped form: the YtoZ, ZtoX and XtoZ transposes fuse with the FFT
+	// stage each hides (OpOverlap), the final ZtoY stays a one-shot
+	// transpose (nothing follows to hide it under).
+	ChunksA, ChunksB int
 }
 
 // Timestep builds one full RK3 timestep: three substeps, each running the
@@ -46,35 +54,63 @@ func Timestep(p TimestepParams) *Schedule {
 		Nx:   p.Nx, Ny: p.Ny, Nz: p.Nz, NKx: nkx,
 		PA: p.PA, PB: p.PB, Ranks: ranks,
 	}
+	overlapped := p.ChunksA > 0 && p.ChunksB > 0
 	for sub := 1; sub <= 3; sub++ {
-		s.transpose(sub, DirYtoZ, "B", p.PB, 3, fieldBytes*3, p.PackPasses)
-		s.Ops = append(s.Ops, Op{
-			Kind: OpFFT, Phase: PhaseFFTInverse.String(), Sub: sub,
-			Axis: "z", Inverse: true, Padded: true,
-			Fields: 3, Lines: linesZ, Points: mz,
-			Flops: 3 * float64(linesZ) * FFTFlops(mz, false),
-		})
-		s.transpose(sub, DirZtoX, "A", p.PA, 3, padBytes*3, p.PackPasses)
-		s.Ops = append(s.Ops, Op{
-			Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
-			Axis: "x", Inverse: true, Real: true, Padded: true,
-			Fields: 3, Lines: linesX, Points: mx,
-			Flops: 3 * float64(linesX) * FFTFlops(mx, true),
-		})
-		s.Ops = append(s.Ops, Op{
-			Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
-			Axis: "x", Real: true, Padded: true,
-			Fields: p.Products, Lines: linesX, Points: mx,
-			Flops: float64(p.Products) * float64(linesX) * FFTFlops(mx, true),
-		})
-		s.transpose(sub, DirXtoZ, "A", p.PA, p.Products, padBytes*float64(p.Products), p.PackPasses)
-		s.Ops = append(s.Ops, Op{
-			Kind: OpFFT, Phase: PhaseFFTForward.String(), Sub: sub,
-			Axis: "z", Padded: true,
-			Fields: p.Products, Lines: linesZ, Points: mz,
-			Flops: float64(p.Products) * float64(linesZ) * FFTFlops(mz, false),
-		})
-		s.transpose(sub, DirZtoY, "B", p.PB, p.Products, fieldBytes*float64(p.Products), p.PackPasses)
+		if overlapped {
+			// Pipelined form: each forward-path transpose fuses with the FFT
+			// stage consuming its chunks. The x excursion (inverse transform,
+			// pointwise products, forward transform) runs entirely inside the
+			// ZtoX consumer, so its two stages' flops ride one overlap op.
+			s.overlap(sub, DirYtoZ, "B", p.PB, 3, fieldBytes*3, p.PackPasses, p.ChunksB, Op{
+				Phase: PhaseFFTInverse.String(),
+				Axis:  "z", Inverse: true, Padded: true,
+				Lines: linesZ, Points: mz,
+				Flops: 3 * float64(linesZ) * FFTFlops(mz, false),
+			})
+			s.overlap(sub, DirZtoX, "A", p.PA, 3, padBytes*3, p.PackPasses, p.ChunksA, Op{
+				Phase: PhaseNonlinear.String(),
+				Axis:  "x", Inverse: true, Real: true, Padded: true,
+				Lines: linesX, Points: mx,
+				Flops: float64(3+p.Products) * float64(linesX) * FFTFlops(mx, true),
+			})
+			s.overlap(sub, DirXtoZ, "A", p.PA, p.Products, padBytes*float64(p.Products), p.PackPasses, p.ChunksA, Op{
+				Phase: PhaseFFTForward.String(),
+				Axis:  "z", Padded: true,
+				Lines: linesZ, Points: mz,
+				Flops: float64(p.Products) * float64(linesZ) * FFTFlops(mz, false),
+			})
+		} else {
+			s.transpose(sub, DirYtoZ, "B", p.PB, 3, fieldBytes*3, p.PackPasses, 0)
+			s.Ops = append(s.Ops, Op{
+				Kind: OpFFT, Phase: PhaseFFTInverse.String(), Sub: sub,
+				Axis: "z", Inverse: true, Padded: true,
+				Fields: 3, Lines: linesZ, Points: mz,
+				Flops: 3 * float64(linesZ) * FFTFlops(mz, false),
+			})
+			s.transpose(sub, DirZtoX, "A", p.PA, 3, padBytes*3, p.PackPasses, 0)
+			s.Ops = append(s.Ops, Op{
+				Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
+				Axis: "x", Inverse: true, Real: true, Padded: true,
+				Fields: 3, Lines: linesX, Points: mx,
+				Flops: 3 * float64(linesX) * FFTFlops(mx, true),
+			})
+			s.Ops = append(s.Ops, Op{
+				Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
+				Axis: "x", Real: true, Padded: true,
+				Fields: p.Products, Lines: linesX, Points: mx,
+				Flops: float64(p.Products) * float64(linesX) * FFTFlops(mx, true),
+			})
+			s.transpose(sub, DirXtoZ, "A", p.PA, p.Products, padBytes*float64(p.Products), p.PackPasses, 0)
+			s.Ops = append(s.Ops, Op{
+				Kind: OpFFT, Phase: PhaseFFTForward.String(), Sub: sub,
+				Axis: "z", Padded: true,
+				Fields: p.Products, Lines: linesZ, Points: mz,
+				Flops: float64(p.Products) * float64(linesZ) * FFTFlops(mz, false),
+			})
+		}
+		// The return leg has no following transform to hide under: it stays a
+		// one-shot exchange even in the overlapped program.
+		s.transpose(sub, DirZtoY, "B", p.PB, p.Products, fieldBytes*float64(p.Products), p.PackPasses, 0)
 		s.Ops = append(s.Ops, Op{
 			Kind: OpSolve, Phase: PhaseViscousSolve.String(), Sub: sub,
 			Systems: nkx * p.Nz, Bandwidth: solveBandwidth,
@@ -96,6 +132,10 @@ type TransposeCycleParams struct {
 	// PackPasses as in TimestepParams. Table 5 times the wire exchange
 	// only, so the paper rows use 0; the live cycle packs and unpacks.
 	PackPasses float64
+	// ChunksA, ChunksB as in TimestepParams. The cycle has no FFT stage to
+	// hide under, so overlap here means chunked transposes (the pipelined
+	// exchange with a nil consumer), not fused overlap ops.
+	ChunksA, ChunksB int
 }
 
 // TransposeCycle builds the Table 5 benchmark: four global transposes on
@@ -112,10 +152,10 @@ func TransposeCycle(p TransposeCycleParams) *Schedule {
 		Nx:   p.Nx, Ny: p.Ny, Nz: p.Nz, NKx: nkx,
 		PA: p.PA, PB: p.PB, Ranks: ranks,
 	}
-	s.transpose(0, DirYtoZ, "B", p.PB, p.Fields, bytes, p.PackPasses)
-	s.transpose(0, DirZtoX, "A", p.PA, p.Fields, bytes, p.PackPasses)
-	s.transpose(0, DirXtoZ, "A", p.PA, p.Fields, bytes, p.PackPasses)
-	s.transpose(0, DirZtoY, "B", p.PB, p.Fields, bytes, p.PackPasses)
+	s.transpose(0, DirYtoZ, "B", p.PB, p.Fields, bytes, p.PackPasses, p.ChunksB)
+	s.transpose(0, DirZtoX, "A", p.PA, p.Fields, bytes, p.PackPasses, p.ChunksA)
+	s.transpose(0, DirXtoZ, "A", p.PA, p.Fields, bytes, p.PackPasses, p.ChunksA)
+	s.transpose(0, DirZtoY, "B", p.PB, p.Fields, bytes, p.PackPasses, p.ChunksB)
 	return s
 }
 
@@ -164,6 +204,9 @@ type FFTCycleParams struct {
 	PA, PB     int
 	Fields     int
 	Kind       FFTKind
+	// ChunksA, ChunksB as in TimestepParams: both > 0 emits the overlapped
+	// program (legs 1-3 fused with their FFT stages, final ZtoY one-shot).
+	ChunksA, ChunksB int
 }
 
 // FFTCycle builds the Table 6 benchmark for one kernel kind.
@@ -181,14 +224,38 @@ func FFTCycle(p FFTCycleParams) *Schedule {
 		PA: p.PA, PB: p.PB, Ranks: ranks,
 		ResidentBytesPerRank: bytes * p.Kind.ResidentFactor(),
 	}
-	s.transpose(0, DirYtoZ, "B", p.PB, p.Fields, bytes, passes)
+	if p.ChunksA > 0 && p.ChunksB > 0 {
+		s.overlap(0, DirYtoZ, "B", p.PB, p.Fields, bytes, passes, p.ChunksB, Op{
+			Phase: PhaseFFTInverse.String(),
+			Axis:  "z", Inverse: true,
+			Lines: linesZ, Points: p.Nz,
+			Flops: float64(p.Fields) * float64(linesZ) * FFTFlops(p.Nz, false),
+		})
+		// The fused x excursion (inverse then forward, one block in the live
+		// kernel, timed under the forward-FFT phase) rides the ZtoX overlap.
+		s.overlap(0, DirZtoX, "A", p.PA, p.Fields, bytes, passes, p.ChunksA, Op{
+			Phase: PhaseFFTForward.String(),
+			Axis:  "x", Inverse: true, Real: true,
+			Lines: linesX, Points: p.Nx,
+			Flops: 2 * float64(p.Fields) * float64(linesX) * FFTFlops(p.Nx, true),
+		})
+		s.overlap(0, DirXtoZ, "A", p.PA, p.Fields, bytes, passes, p.ChunksA, Op{
+			Phase: PhaseFFTForward.String(),
+			Axis:  "z",
+			Lines: linesZ, Points: p.Nz,
+			Flops: float64(p.Fields) * float64(linesZ) * FFTFlops(p.Nz, false),
+		})
+		s.transpose(0, DirZtoY, "B", p.PB, p.Fields, bytes, passes, 0)
+		return s
+	}
+	s.transpose(0, DirYtoZ, "B", p.PB, p.Fields, bytes, passes, 0)
 	s.Ops = append(s.Ops, Op{
 		Kind: OpFFT, Phase: PhaseFFTInverse.String(),
 		Axis: "z", Inverse: true,
 		Fields: p.Fields, Lines: linesZ, Points: p.Nz,
 		Flops: float64(p.Fields) * float64(linesZ) * FFTFlops(p.Nz, false),
 	})
-	s.transpose(0, DirZtoX, "A", p.PA, p.Fields, bytes, passes)
+	s.transpose(0, DirZtoX, "A", p.PA, p.Fields, bytes, passes, 0)
 	// The x excursion (inverse then forward, one fused block in the live
 	// kernel) is timed under the forward-FFT phase by parfft.
 	s.Ops = append(s.Ops, Op{
@@ -203,24 +270,55 @@ func FFTCycle(p FFTCycleParams) *Schedule {
 		Fields: p.Fields, Lines: linesX, Points: p.Nx,
 		Flops: float64(p.Fields) * float64(linesX) * FFTFlops(p.Nx, true),
 	})
-	s.transpose(0, DirXtoZ, "A", p.PA, p.Fields, bytes, passes)
+	s.transpose(0, DirXtoZ, "A", p.PA, p.Fields, bytes, passes, 0)
 	s.Ops = append(s.Ops, Op{
 		Kind: OpFFT, Phase: PhaseFFTForward.String(),
 		Axis: "z",
 		Fields: p.Fields, Lines: linesZ, Points: p.Nz,
 		Flops: float64(p.Fields) * float64(linesZ) * FFTFlops(p.Nz, false),
 	})
-	s.transpose(0, DirZtoY, "B", p.PB, p.Fields, bytes, passes)
+	s.transpose(0, DirZtoY, "B", p.PB, p.Fields, bytes, passes, 0)
 	return s
 }
 
 // transpose appends one wire transpose (and, when passes > 0, its on-node
-// pack/unpack reorder) to the schedule.
-func (s *Schedule) transpose(sub int, dir, comm string, commSize, fields int, bytesPerRank, passes float64) {
+// pack/unpack reorder) to the schedule. chunks > 0 makes it a chunked
+// pipelined exchange: Chunks per-peer messages instead of one.
+func (s *Schedule) transpose(sub int, dir, comm string, commSize, fields int, bytesPerRank, passes float64, chunks int) {
+	messages := commSize - 1
+	if chunks > 0 {
+		messages = chunks * (commSize - 1)
+	}
 	s.Ops = append(s.Ops, Op{
 		Kind: OpTranspose, Phase: PhaseTransposeAB.String(), Sub: sub,
 		Dir: dir, Comm: comm, CommSize: commSize, Fields: fields,
-		BytesPerRank: bytesPerRank, Messages: commSize - 1,
+		BytesPerRank: bytesPerRank, Messages: messages, Chunks: chunks,
+	})
+	if passes > 0 {
+		s.Ops = append(s.Ops, Op{
+			Kind: OpReorder, Phase: PhaseTransposeAB.String(), Sub: sub,
+			Dir: dir, CommSize: commSize, Fields: fields,
+			BytesPerRank: bytesPerRank, Passes: passes,
+		})
+	}
+}
+
+// overlap appends one pipelined transpose fused with the FFT stage it hides
+// (plus, when passes > 0, its reorder). fft supplies the hidden stage's
+// Axis/Inverse/Real/Padded/Lines/Points/Flops and — through its Phase field
+// — the FFTPhase the compute is attributed to; the transpose's exposed part
+// stays on the transpose phase.
+func (s *Schedule) overlap(sub int, dir, comm string, commSize, fields int, bytesPerRank, passes float64, chunks int, fft Op) {
+	s.Ops = append(s.Ops, Op{
+		Kind: OpOverlap, Phase: PhaseTransposeAB.String(), Sub: sub,
+		Dir: dir, Comm: comm, CommSize: commSize, Fields: fields,
+		BytesPerRank: bytesPerRank,
+		Messages:     chunks * (commSize - 1),
+		Chunks:       chunks,
+		FFTPhase:     fft.Phase,
+		Axis:         fft.Axis, Inverse: fft.Inverse, Real: fft.Real, Padded: fft.Padded,
+		Lines: fft.Lines, Points: fft.Points,
+		Flops: fft.Flops,
 	})
 	if passes > 0 {
 		s.Ops = append(s.Ops, Op{

@@ -34,6 +34,17 @@ type StepReport struct {
 	GatingPhase telemetry.Phase
 	// GatingSeconds is the gating rank's busy time.
 	GatingSeconds float64
+	// ExposedWireSeconds is the wire time the step's ranks actually waited
+	// on, summed across ranks: per-peer receive waits inside pipelined
+	// exchanges (KindPeer events) plus the whole window of serial one-shot
+	// exchanges (KindExchange with no pipeline depth).
+	ExposedWireSeconds float64
+	// HiddenWireSeconds is the remainder of the pipelined exchange windows —
+	// wire time overlapped with pack/unpack and the consumer's FFT work
+	// rather than waited on. Serial exchanges contribute nothing here: their
+	// wire time is exposed by construction. ExposedWireSeconds +
+	// HiddenWireSeconds recovers the total wire window of the step.
+	HiddenWireSeconds float64
 }
 
 // Analyze computes per-step critical paths from a per-rank event snapshot
@@ -50,23 +61,44 @@ func Analyze(perRank [][]Event) []StepReport {
 	type acc struct {
 		busy  []int64
 		phase [][telemetry.NumPhases]int64
+		// Wire attribution, summed across ranks: peer-arrival waits and
+		// serial exchange windows are exposed; pipelined exchange windows
+		// (KindExchange with Peer > 0, the pipeline depth) minus their
+		// recorded waits are hidden.
+		peerWait, pipeWindow, serialWire int64
 	}
 	steps := map[int64]*acc{}
+	get := func(step int64) *acc {
+		a := steps[step]
+		if a == nil {
+			a = &acc{
+				busy:  make([]int64, ranks),
+				phase: make([][telemetry.NumPhases]int64, ranks),
+			}
+			steps[step] = a
+		}
+		return a
+	}
 	for rank, evs := range perRank {
 		for _, ev := range evs {
-			if ev.Kind != KindPhase || ev.Phase >= telemetry.NumPhases {
-				continue
-			}
-			a := steps[ev.Step]
-			if a == nil {
-				a = &acc{
-					busy:  make([]int64, ranks),
-					phase: make([][telemetry.NumPhases]int64, ranks),
+			switch ev.Kind {
+			case KindPhase:
+				if ev.Phase >= telemetry.NumPhases {
+					continue
 				}
-				steps[ev.Step] = a
+				a := get(ev.Step)
+				a.busy[rank] += int64(ev.Dur)
+				a.phase[rank][ev.Phase] += int64(ev.Dur)
+			case KindPeer:
+				get(ev.Step).peerWait += int64(ev.Dur)
+			case KindExchange:
+				a := get(ev.Step)
+				if ev.Peer > 0 {
+					a.pipeWindow += int64(ev.Dur)
+				} else {
+					a.serialWire += int64(ev.Dur)
+				}
 			}
-			a.busy[rank] += int64(ev.Dur)
-			a.phase[rank][ev.Phase] += int64(ev.Dur)
 		}
 	}
 	order := make([]int64, 0, len(steps))
@@ -84,12 +116,20 @@ func Analyze(perRank [][]Event) []StepReport {
 				gating = r
 			}
 		}
+		hidden := a.pipeWindow - a.peerWait
+		if hidden < 0 {
+			// Clock skew between the window endpoints and the per-arrival
+			// stamps; clamp rather than report negative hidden time.
+			hidden = 0
+		}
 		rep := StepReport{
-			Step:          s,
-			BusySeconds:   make([]float64, ranks),
-			SlackSeconds:  make([]float64, ranks),
-			GatingRank:    gating,
-			GatingSeconds: time.Duration(a.busy[gating]).Seconds(),
+			Step:               s,
+			BusySeconds:        make([]float64, ranks),
+			SlackSeconds:       make([]float64, ranks),
+			GatingRank:         gating,
+			GatingSeconds:      time.Duration(a.busy[gating]).Seconds(),
+			ExposedWireSeconds: time.Duration(a.peerWait + a.serialWire).Seconds(),
+			HiddenWireSeconds:  time.Duration(hidden).Seconds(),
 		}
 		for r := 0; r < ranks; r++ {
 			rep.BusySeconds[r] = time.Duration(a.busy[r]).Seconds()
@@ -150,11 +190,13 @@ func Summarize(t *Trace) *telemetry.TraceSummary {
 			}
 		}
 		sum.Steps = append(sum.Steps, telemetry.StragglerStep{
-			Step:            rep.Step,
-			GatingRank:      rep.GatingRank,
-			GatingPhase:     rep.GatingPhase.String(),
-			GatingSeconds:   rep.GatingSeconds,
-			MaxSlackSeconds: maxSlack,
+			Step:               rep.Step,
+			GatingRank:         rep.GatingRank,
+			GatingPhase:        rep.GatingPhase.String(),
+			GatingSeconds:      rep.GatingSeconds,
+			MaxSlackSeconds:    maxSlack,
+			ExposedWireSeconds: rep.ExposedWireSeconds,
+			HiddenWireSeconds:  rep.HiddenWireSeconds,
 		})
 	}
 	return sum
@@ -167,8 +209,9 @@ func WriteStragglerTable(w io.Writer, reports []StepReport) {
 		fmt.Fprintln(w, "trace: no steps recorded")
 		return
 	}
-	fmt.Fprintf(w, "%6s  %5s  %-14s  %12s  %12s\n",
-		"step", "rank", "gating phase", "busy [ms]", "max slack [ms]")
+	fmt.Fprintf(w, "%6s  %5s  %-14s  %12s  %14s  %12s  %12s\n",
+		"step", "rank", "gating phase", "busy [ms]", "max slack [ms]",
+		"exposed [ms]", "hidden [ms]")
 	for _, rep := range reports {
 		maxSlack := 0.0
 		for _, sl := range rep.SlackSeconds {
@@ -176,8 +219,9 @@ func WriteStragglerTable(w io.Writer, reports []StepReport) {
 				maxSlack = sl
 			}
 		}
-		fmt.Fprintf(w, "%6d  %5d  %-14s  %12.3f  %12.3f\n",
+		fmt.Fprintf(w, "%6d  %5d  %-14s  %12.3f  %14.3f  %12.3f  %12.3f\n",
 			rep.Step, rep.GatingRank, rep.GatingPhase.String(),
-			rep.GatingSeconds*1e3, maxSlack*1e3)
+			rep.GatingSeconds*1e3, maxSlack*1e3,
+			rep.ExposedWireSeconds*1e3, rep.HiddenWireSeconds*1e3)
 	}
 }
