@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke clean
+.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke tcp-smoke clean
 
-ci: vet build test race bench-smoke bench-diff ckpt-smoke
+ci: vet build test race bench-smoke bench-diff ckpt-smoke tcp-smoke
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,13 @@ ckpt-smoke:
 	grep -q "resumed from step-0000000002" .ckpt-smoke/resume.out
 	$(GO) run ./cmd/bench-validate .ckpt-smoke/BENCH_resume.json
 
+# Distributed-transport drill: dnsrun spawns a four-process 2x2 run over
+# localhost TCP, the script kills the world after its first committed
+# checkpoint, a two-process world resumes it (elastic re-shard over the
+# wire), and the resume's cross-process telemetry report must validate.
+tcp-smoke:
+	sh scripts/tcp_smoke.sh
+
 clean:
-	rm -rf .bench-smoke .ckpt-smoke
+	rm -rf .bench-smoke .ckpt-smoke .tcp-smoke
 	rm -f *.trace.json

@@ -10,6 +10,11 @@
 // timestep feeds — and -json writes the aggregated telemetry.Report.
 // -overlap A/Bs every split against the pipelined (chunked, per-peer
 // progress) exchange, printing how much of the wire time the pipeline hid.
+// -transport selects the message-passing transport for the live cycles:
+// chan (in-process mailboxes, the default), tcp (loopback sockets with the
+// full serialize/frame path), or both — an A/B that times every split on
+// each transport and, with -json, emits the paired chan/tcp BENCH reports
+// that make the wire cost of the transpose cycle a gated number.
 package main
 
 import (
@@ -34,7 +39,8 @@ func main() {
 	showSched := flag.Bool("schedule", false, "print the declarative op schedule of the live transpose cycle (balanced 4x4 split)")
 	live := flag.Bool("live", false, "also run live in-process transpose cycles")
 	overlapAB := flag.Bool("overlap", false, "A/B the serial exchange against the pipelined overlap for every live split (implies -live)")
-	jsonPath := flag.String("json", "", "write a telemetry report of the live sweep to this file (implies -live; with -overlap a paired .overlap.json rides along)")
+	jsonPath := flag.String("json", "", "write a telemetry report of the live sweep to this file (implies -live; with -overlap a paired .overlap.json rides along, with -transport=both a paired .tcp.json)")
+	transportF := flag.String("transport", "chan", "live-cycle transport: chan, tcp, or both (A/B, implies -live)")
 	flag.Parse()
 
 	if *pattern {
@@ -46,6 +52,16 @@ func main() {
 		return
 	}
 
+	runners := map[string]func(int, func(*mpi.Comm)){"chan": mpi.Run, "tcp": mpi.RunTCP}
+	if _, ok := runners[*transportF]; !ok && *transportF != "both" {
+		fmt.Fprintf(os.Stderr, "bench-comm: unknown -transport %q (want chan, tcp, or both)\n", *transportF)
+		os.Exit(2)
+	}
+	if *transportF == "both" && *overlapAB {
+		fmt.Fprintln(os.Stderr, "bench-comm: -overlap and -transport=both are separate A/Bs; run one at a time")
+		os.Exit(2)
+	}
+
 	tbl := perf.Table{
 		Title:   "Table 5: global transpose cycle time vs CommA x CommB split",
 		Headers: []string{"system", "CommA", "CommB", "model (s)", "paper (s)"},
@@ -55,8 +71,13 @@ func main() {
 	}
 	tbl.Write(os.Stdout)
 
-	if *live || *overlapAB || *jsonPath != "" {
-		fmt.Println("\nLive in-process transpose cycle (16 ranks, 64x32x32 modes, 3 fields):")
+	if *live || *overlapAB || *jsonPath != "" || *transportF != "chan" {
+		if *transportF == "both" {
+			transportAB(runners, *jsonPath)
+			return
+		}
+		runner := runners[*transportF]
+		fmt.Printf("\nLive transpose cycle, %s transport (16 ranks, 64x32x32 modes, 3 fields):\n", *transportF)
 		headers := []string{"CommA", "CommB", "elapsed", "MB moved/dir", "steady allocs"}
 		if *overlapAB {
 			headers = []string{"CommA", "CommB", "serial", "pipelined", "ratio",
@@ -66,10 +87,10 @@ func main() {
 		metrics := map[string]float64{}
 		var balanced, balancedOv *liveResult
 		for _, split := range [][2]int{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}} {
-			r := liveCycle(split[0], split[1], false, *overlapAB)
+			r := liveCycle(runner, split[0], split[1], false, *overlapAB)
 			metrics[fmt.Sprintf("cycle_seconds_%dx%d", split[0], split[1])] = r.elapsed.Seconds()
 			if *overlapAB {
-				o := liveCycle(split[0], split[1], true, true)
+				o := liveCycle(runner, split[0], split[1], true, true)
 				lt.AddRowf(split[0], split[1], r.elapsed.String(), o.elapsed.String(),
 					r.elapsed.Seconds()/o.elapsed.Seconds(),
 					fmt.Sprintf("%.3f", o.exposed*1e3), fmt.Sprintf("%.3f", o.hidden*1e3),
@@ -101,10 +122,7 @@ func main() {
 		}
 
 		if *jsonPath != "" {
-			rep := telemetry.NewReport("table5", balanced.reg, map[string]string{
-				"nkx": "32", "nz": "32", "ny": "32",
-				"fields": "3", "iters": "4", "splits": "16x1,8x2,4x4,2x8,1x16",
-			})
+			rep := telemetry.NewReport("table5", balanced.reg, sweepConfig(*transportF, nil))
 			// Phase/comm tables describe the balanced 4x4 split; the other
 			// splits' cycle times ride along as metrics.
 			rep.WallSeconds = balanced.elapsed.Seconds()
@@ -117,11 +135,8 @@ func main() {
 			fmt.Printf("wrote %s\n", *jsonPath)
 			if balancedOv != nil {
 				ovPath := strings.TrimSuffix(*jsonPath, ".json") + ".overlap.json"
-				ovRep := telemetry.NewReport("table5-overlap", balancedOv.reg, map[string]string{
-					"nkx": "32", "nz": "32", "ny": "32",
-					"fields": "3", "iters": "4", "splits": "16x1,8x2,4x4,2x8,1x16",
-					"overlap": "true",
-				})
+				ovRep := telemetry.NewReport("table5-overlap", balancedOv.reg,
+					sweepConfig(*transportF, map[string]string{"overlap": "true"}))
 				ovRep.WallSeconds = balancedOv.elapsed.Seconds()
 				ovRep.Schedule = balancedOv.sched
 				ovRep.Trace = balancedOv.traceSum
@@ -132,6 +147,68 @@ func main() {
 				fmt.Printf("wrote %s\n", ovPath)
 			}
 		}
+	}
+}
+
+// sweepConfig is the live sweep's report config, stamped with the
+// transport so paired chan/tcp reports stay distinguishable downstream.
+func sweepConfig(transport string, extra map[string]string) map[string]string {
+	cfg := map[string]string{
+		"nkx": "32", "nz": "32", "ny": "32",
+		"fields": "3", "iters": "4", "splits": "16x1,8x2,4x4,2x8,1x16",
+		"transport": transport,
+	}
+	for k, v := range extra {
+		cfg[k] = v
+	}
+	return cfg
+}
+
+// transportAB runs every live split on both transports and prints the
+// wire cost of the cycle: tcp elapsed over chan elapsed, everything else
+// identical. With a -json path it writes the paired BENCH reports — the
+// chan sweep at the path itself and the tcp sweep at a .tcp.json sibling
+// — so CI can gate on the pair.
+func transportAB(runners map[string]func(int, func(*mpi.Comm)), jsonPath string) {
+	fmt.Println("\nLive transpose cycle, chan vs tcp transport (16 ranks, 64x32x32 modes, 3 fields):")
+	lt := perf.Table{Headers: []string{"CommA", "CommB", "chan", "tcp", "wire cost", "tcp MB/dir"}}
+	metrics := map[string]map[string]float64{"chan": {}, "tcp": {}}
+	balanced := map[string]*liveResult{}
+	for _, split := range [][2]int{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}} {
+		res := map[string]*liveResult{}
+		for _, tr := range []string{"chan", "tcp"} {
+			r := liveCycle(runners[tr], split[0], split[1], false, false)
+			res[tr] = r
+			metrics[tr][fmt.Sprintf("cycle_seconds_%dx%d", split[0], split[1])] = r.elapsed.Seconds()
+			if split[0] == 4 && split[1] == 4 {
+				balanced[tr] = r
+			}
+		}
+		lt.AddRowf(split[0], split[1],
+			res["chan"].elapsed.String(), res["tcp"].elapsed.String(),
+			fmt.Sprintf("%.2fx", res["tcp"].elapsed.Seconds()/res["chan"].elapsed.Seconds()),
+			fmt.Sprintf("%.2f", float64(res["tcp"].bytesPerDir)/(1<<20)))
+	}
+	lt.Write(os.Stdout)
+	fmt.Println("wire cost: tcp elapsed / chan elapsed for the same split — the " +
+		"price of serializing every transpose message through loopback sockets.")
+	if jsonPath == "" {
+		return
+	}
+	paths := map[string]string{
+		"chan": jsonPath,
+		"tcp":  strings.TrimSuffix(jsonPath, ".json") + ".tcp.json",
+	}
+	for _, tr := range []string{"chan", "tcp"} {
+		rep := telemetry.NewReport("table5", balanced[tr].reg, sweepConfig(tr, nil))
+		rep.WallSeconds = balanced[tr].elapsed.Seconds()
+		rep.Metrics = metrics[tr]
+		rep.Schedule = balanced[tr].sched
+		if err := rep.WriteFile(paths[tr]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", paths[tr])
 	}
 }
 
@@ -146,20 +223,21 @@ type liveResult struct {
 	traceSum        *telemetry.TraceSummary
 }
 
-// liveCycle times 4 transpose cycles on a pa x pb split. With overlap the
-// four legs run through the pipelined chunked exchange (nil consume: this
-// benchmark isolates the transposes, so there is no FFT stage to hide
-// under — the pipeline still overlaps wire time with pack/unpack). With
-// traced, a flight recorder rides along so the analyzer can attribute
-// exposed vs hidden wire time; tracing is on for both sides of the
-// -overlap A/B so the timings stay comparable.
-func liveCycle(pa, pb int, overlap, traced bool) *liveResult {
+// liveCycle times 4 transpose cycles on a pa x pb split under the given
+// runner (mpi.Run for the channel transport, mpi.RunTCP for loopback
+// sockets). With overlap the four legs run through the pipelined chunked
+// exchange (nil consume: this benchmark isolates the transposes, so
+// there is no FFT stage to hide under — the pipeline still overlaps wire
+// time with pack/unpack). With traced, a flight recorder rides along so
+// the analyzer can attribute exposed vs hidden wire time; tracing is on
+// for both sides of the -overlap A/B so the timings stay comparable.
+func liveCycle(runner func(int, func(*mpi.Comm)), pa, pb int, overlap, traced bool) *liveResult {
 	res := &liveResult{reg: telemetry.NewRegistry()}
 	var trc *trace.Trace
 	if traced {
 		trc = trace.New(0)
 	}
-	mpi.Run(pa*pb, func(c *mpi.Comm) {
+	runner(pa*pb, func(c *mpi.Comm) {
 		d := pencil.New(c, pa, pb, 32, 32, 32, par.NewPool(1))
 		d.Overlap = overlap
 		tel := res.reg.Rank(c.Rank())

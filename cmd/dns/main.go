@@ -5,6 +5,12 @@
 // Example:
 //
 //	dns -nx 32 -ny 49 -nz 32 -retau 180 -dt 2e-3 -steps 200 -stats-every 20
+//
+// By default all ranks run as goroutines in this process (-transport=chan).
+// With -transport=tcp the process is a single rank of a distributed world
+// and needs -rank/-world/-coord; cmd/dnsrun spawns and wires such worlds:
+//
+//	dnsrun -n 4 -- -nx 32 -ny 49 -nz 32 -pa 2 -pb 2 -steps 200
 package main
 
 import (
@@ -43,8 +49,8 @@ func main() {
 		ckptEvr = flag.Int("ckpt-every", 0, "checkpoint into -ckpt-dir every N steps (0 = final checkpoint only)")
 		ckptKp  = flag.Int("ckpt-keep", 3, "rolling retention: keep the newest K checkpoints (0 = keep all)")
 		resume  = flag.Bool("resume", false, "auto-resume from the newest valid checkpoint in -ckpt-dir, falling back past corrupt ones")
-		oldCkpt = flag.String("checkpoint", "", "deprecated alias for -ckpt-dir (restart files are now sharded checkpoint directories and work on any rank count); will be removed next release")
-		oldRest = flag.String("restore", "", "deprecated alias for -ckpt-dir plus -resume; will be removed next release")
+		oldCkpt = flag.String("checkpoint", "", "removed: use -ckpt-dir (checkpoints are sharded directories and resume on any rank count)")
+		oldRest = flag.String("restore", "", "removed: use -ckpt-dir with -resume")
 		form    = flag.String("form", "divergence", "nonlinear form: divergence | convective | skew")
 		budget  = flag.Bool("budget", false, "print the TKE budget at the end")
 		spectra = flag.Bool("spectra", false, "print 1-D energy spectra at selected heights")
@@ -54,22 +60,23 @@ func main() {
 		trcCap  = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default)")
 		overlap = flag.Bool("overlap", false, "pipeline the nonlinear-path transposes with the FFT stages that consume them (bit-identical; wins at 4+ ranks)")
 		chunks  = flag.Int("chunks", 0, "pipeline depth of the overlapped exchange (0 = default 4, clamped per direction)")
+
+		transportF = flag.String("transport", "chan", "rank transport: chan (goroutine ranks in this process) | tcp (this process is one rank of a distributed world; see cmd/dnsrun)")
+		rankF      = flag.Int("rank", 0, "with -transport=tcp: this process's world rank")
+		worldF     = flag.Int("world", 0, "with -transport=tcp: world size (must equal pa*pb)")
+		coordF     = flag.String("coord", "", "with -transport=tcp: rank-0 rendezvous address host:port")
+		bindF      = flag.String("bind", "", "with -transport=tcp: peer listener bind address (default 127.0.0.1:0; bind a reachable interface for multi-machine runs)")
+		advertF    = flag.String("advertise", "", "with -transport=tcp: host other ranks dial for this rank's peer listener (when -bind is a wildcard)")
 	)
 	flag.Parse()
 
-	// Deprecated restart flags: one release of alias support, loudly.
+	// The PR-5 aliases had their one release of support; the flags stay
+	// registered only to fail with a pointer at the replacements.
 	if *oldCkpt != "" {
-		fmt.Fprintln(os.Stderr, "dns: -checkpoint is deprecated, use -ckpt-dir (checkpoints are now sharded directories)")
-		if *ckptDir == "" {
-			*ckptDir = *oldCkpt
-		}
+		log.Fatal("dns: -checkpoint was removed; use -ckpt-dir (sharded checkpoint directories, any rank count)")
 	}
 	if *oldRest != "" {
-		fmt.Fprintln(os.Stderr, "dns: -restore is deprecated, use -ckpt-dir with -resume")
-		if *ckptDir == "" {
-			*ckptDir = *oldRest
-		}
-		*resume = true
+		log.Fatal("dns: -restore was removed; use -ckpt-dir with -resume")
 	}
 
 	cfg := core.Config{
@@ -94,7 +101,7 @@ func main() {
 			"re_tau": fmt.Sprint(*retau), "dt": fmt.Sprint(*dt),
 			"steps": fmt.Sprint(*steps), "pa": fmt.Sprint(*pa), "pb": fmt.Sprint(*pb),
 			"threads": fmt.Sprint(*threads), "form": *form,
-			"overlap": fmt.Sprint(*overlap),
+			"overlap": fmt.Sprint(*overlap), "transport": *transportF,
 		})
 		if trc != nil {
 			rep.Trace = trace.Summarize(trc)
@@ -126,8 +133,23 @@ func main() {
 		log.Fatalf("unknown -form %q", *form)
 	}
 
+	isTCP := false
+	switch *transportF {
+	case "chan":
+	case "tcp":
+		isTCP = true
+		if *worldF != *pa**pb {
+			log.Fatalf("dns: -transport=tcp world %d does not match process grid %dx%d", *worldF, *pa, *pb)
+		}
+		if *coordF == "" {
+			log.Fatal("dns: -transport=tcp needs -coord (cmd/dnsrun supplies it)")
+		}
+	default:
+		log.Fatalf("dns: unknown -transport %q (chan | tcp)", *transportF)
+	}
+
 	var finalErr error
-	mpi.Run(*pa**pb, func(c *mpi.Comm) {
+	body := func(c *mpi.Comm) {
 		s, err := core.New(c, cfg)
 		if err != nil {
 			if c.Rank() == 0 {
@@ -269,19 +291,55 @@ func main() {
 				}
 			}
 		}
-	})
+		// On the wire transport each process holds only its own rank's
+		// telemetry; fold the remote collectors into rank 0's registry
+		// so the report aggregates the whole world, exactly as an
+		// in-process run's would.
+		if reg != nil && isTCP && c.Size() > 1 {
+			dumps := mpi.Gather(c, 0, reg.Rank(c.Rank()).Dump())
+			if c.Rank() == 0 {
+				n := telemetry.DumpLen()
+				for r := 1; r < c.Size(); r++ {
+					if err := reg.RestoreRank(r, dumps[r*n:(r+1)*n]); err != nil {
+						finalErr = err
+					}
+				}
+			}
+		}
+	}
+	if isTCP {
+		c, err := mpi.ConnectTCP(mpi.TCPConfig{
+			Rank: *rankF, World: *worldF, Coord: *coordF,
+			Bind: *bindF, Advertise: *advertF,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		body(c)
+		c.Close()
+	} else {
+		mpi.Run(*pa**pb, body)
+	}
 	if finalErr != nil {
 		log.Fatal(finalErr)
 	}
 	if *trcPath != "" {
-		if err := trc.WriteChromeFile(*trcPath); err != nil {
+		// Distributed runs record one flight recorder per process; every
+		// rank writes its own timeline next to rank 0's.
+		path := *trcPath
+		if isTCP && *rankF != 0 {
+			path += fmt.Sprintf(".rank%d", *rankF)
+		}
+		if err := trc.WriteChromeFile(path); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s (open in ui.perfetto.dev or chrome://tracing)\n", *trcPath)
-		fmt.Println("\nper-step critical path:")
-		trace.WriteStragglerTable(os.Stdout, trace.Analyze(trc.Events()))
+		fmt.Printf("wrote %s (open in ui.perfetto.dev or chrome://tracing)\n", path)
+		if !isTCP || *rankF == 0 {
+			fmt.Println("\nper-step critical path:")
+			trace.WriteStragglerTable(os.Stdout, trace.Analyze(trc.Events()))
+		}
 	}
-	if *repPath != "" {
+	if *repPath != "" && (!isTCP || *rankF == 0) {
 		if err := buildReport().WriteFile(*repPath); err != nil {
 			log.Fatal(err)
 		}

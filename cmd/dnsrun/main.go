@@ -1,0 +1,239 @@
+// Command dnsrun launches a distributed DNS: one OS process per rank over
+// the TCP transport, wired together through a rank-0 rendezvous. It is
+// the reproduction's mpirun.
+//
+//	dnsrun -n 4 -- -nx 32 -ny 49 -nz 32 -pa 2 -pb 2 -steps 200
+//
+// Everything after -- is passed to every dns process verbatim; dnsrun
+// appends the per-rank -transport/-rank/-world/-coord flags itself. The
+// dns binary is found with -bin, next to the dnsrun executable, or on
+// PATH, in that order.
+//
+// Multi-machine runs take a host file (-hostfile): one host per line in
+// rank order (blank lines and # comments skipped; fewer lines than ranks
+// cycle round-robin). Ranks whose host is local run as child processes;
+// remote ranks are spawned over ssh with the same binary path and
+// arguments, binding their peer listener to 0.0.0.0 and advertising
+// their host name. With a host file, -coord must name an address every
+// host can reach (not a :0 ephemeral pick). Checkpoint directories must
+// live on a filesystem shared by all hosts.
+//
+// Every child's output is forwarded line by line, prefixed with its rank.
+// The first child to exit non-zero (or to die on a signal) kills the rest
+// and sets dnsrun's exit status.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+func main() {
+	n := flag.Int("n", 0, "world size: number of rank processes to launch (required)")
+	bin := flag.String("bin", "", "path to the dns binary (default: dns next to this executable, then PATH)")
+	coord := flag.String("coord", "", "rendezvous address for rank 0 (default: a free localhost port; required explicitly with -hostfile)")
+	hostfile := flag.String("hostfile", "", "file with one host per rank line for multi-machine runs (see command doc)")
+	flag.Parse()
+	passthrough := flag.Args()
+
+	if *n <= 0 {
+		fatalf("dnsrun: -n must be positive")
+	}
+	hosts, err := loadHosts(*hostfile, *n)
+	if err != nil {
+		fatalf("dnsrun: %v", err)
+	}
+	remote := false
+	for _, h := range hosts {
+		if !isLocalHost(h) {
+			remote = true
+		}
+	}
+	if *coord == "" {
+		if remote {
+			fatalf("dnsrun: -hostfile with remote hosts needs an explicit, reachable -coord")
+		}
+		addr, err := freeLocalPort()
+		if err != nil {
+			fatalf("dnsrun: picking a coordinator port: %v", err)
+		}
+		*coord = addr
+	}
+	dnsBin, err := findDNS(*bin)
+	if err != nil {
+		fatalf("dnsrun: %v", err)
+	}
+
+	procs := make([]*exec.Cmd, *n)
+	var outWG sync.WaitGroup
+	for r := 0; r < *n; r++ {
+		args := append([]string(nil), passthrough...)
+		args = append(args,
+			"-transport=tcp",
+			fmt.Sprintf("-rank=%d", r),
+			fmt.Sprintf("-world=%d", *n),
+			fmt.Sprintf("-coord=%s", *coord),
+		)
+		var cmd *exec.Cmd
+		if isLocalHost(hosts[r]) {
+			cmd = exec.Command(dnsBin, args...)
+		} else {
+			// Remote ranks must accept peer links from off-host and tell
+			// peers which host to dial.
+			args = append(args, "-bind=0.0.0.0:0", fmt.Sprintf("-advertise=%s", hosts[r]))
+			sshArgs := append([]string{hosts[r], dnsBin}, args...)
+			cmd = exec.Command("ssh", sshArgs...)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fatalf("dnsrun: rank %d stdout: %v", r, err)
+		}
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			fatalf("dnsrun: rank %d stderr: %v", r, err)
+		}
+		outWG.Add(2)
+		go forward(&outWG, r, stdout, os.Stdout)
+		go forward(&outWG, r, stderr, os.Stderr)
+		if err := cmd.Start(); err != nil {
+			killAll(procs)
+			fatalf("dnsrun: starting rank %d: %v", r, err)
+		}
+		procs[r] = cmd
+	}
+
+	// Forward interrupts to the whole world so a ^C tears it down.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "dnsrun: %v, stopping all ranks\n", sig)
+		killAll(procs)
+	}()
+
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, *n)
+	for r, cmd := range procs {
+		go func() { exits <- exit{r, cmd.Wait()} }()
+	}
+	status := 0
+	for i := 0; i < *n; i++ {
+		e := <-exits
+		if e.err != nil {
+			if status == 0 {
+				fmt.Fprintf(os.Stderr, "dnsrun: rank %d failed: %v; stopping remaining ranks\n", e.rank, e.err)
+				killAll(procs)
+			}
+			status = 1
+		}
+	}
+	outWG.Wait()
+	os.Exit(status)
+}
+
+func fatalf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", a...)
+	os.Exit(2)
+}
+
+// forward copies one child stream line by line under a rank prefix.
+func forward(wg *sync.WaitGroup, rank int, from io.Reader, to io.Writer) {
+	defer wg.Done()
+	sc := bufio.NewScanner(from)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Fprintf(to, "[rank %d] %s\n", rank, sc.Text())
+	}
+}
+
+func killAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// loadHosts reads the host file (one host per rank line, # comments and
+// blanks skipped, round-robin when shorter than the world); with no host
+// file every rank is local.
+func loadHosts(path string, n int) ([]string, error) {
+	hosts := make([]string, n)
+	if path == "" {
+		for i := range hosts {
+			hosts[i] = "localhost"
+		}
+		return hosts, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("host file %s has no hosts", path)
+	}
+	for i := range hosts {
+		hosts[i] = lines[i%len(lines)]
+	}
+	return hosts, nil
+}
+
+func isLocalHost(h string) bool {
+	switch h {
+	case "localhost", "127.0.0.1", "::1", "":
+		return true
+	}
+	return false
+}
+
+// freeLocalPort binds an ephemeral loopback port, releases it, and
+// returns its address for the rendezvous. The small bind race against
+// another process is acceptable for a launcher.
+func freeLocalPort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// findDNS resolves the dns binary: explicit -bin, a sibling of the
+// dnsrun executable, then PATH.
+func findDNS(bin string) (string, error) {
+	if bin != "" {
+		return bin, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "dns")
+		if st, err := os.Stat(sibling); err == nil && !st.IsDir() {
+			return sibling, nil
+		}
+	}
+	if p, err := exec.LookPath("dns"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("no dns binary: pass -bin, place dns next to dnsrun, or add it to PATH")
+}

@@ -82,6 +82,10 @@ type shardMeta struct {
 	Err  string
 }
 
+// The gather crosses process boundaries on the TCP transport; exported
+// fields make it gob-encodable for the wire codec.
+func init() { mpi.RegisterWire[shardMeta]() }
+
 // writeFileAtomic writes data to path through a same-directory temp file,
 // fsyncs it, renames it into place, and best-effort fsyncs the directory
 // so the rename itself is durable.

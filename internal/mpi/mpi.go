@@ -1,14 +1,21 @@
-// Package mpi is an in-process message-passing runtime standing in for MPI
-// in the channel DNS. Ranks are goroutines; messages are copied through
-// per-rank mailboxes with MPI matching semantics (source, tag, communicator,
-// non-overtaking order). The subset implemented is exactly what the DNS and
-// its parallel FFT need: point-to-point Send/Recv/Sendrecv, Barrier, Bcast,
-// Allreduce, Gather, Alltoall(v), communicator splitting, and the cartesian
-// topology helpers (CartCreate/CartSub) the paper uses to build its CommA
-// and CommB sub-communicators.
+// Package mpi is a message-passing runtime standing in for MPI in the
+// channel DNS. Messages carry MPI matching semantics (source, tag,
+// communicator, non-overtaking order) through per-rank mailboxes; the
+// subset implemented is exactly what the DNS and its parallel FFT need:
+// point-to-point Send/Recv/Sendrecv, Barrier, Bcast, Allreduce, Gather,
+// Alltoall(v), communicator splitting, and the cartesian topology helpers
+// (CartCreate/CartSub) the paper uses to build its CommA and CommB
+// sub-communicators.
 //
-// Sends are eager: the payload is copied into the destination mailbox and
-// Send returns immediately, so the usual MPI buffer-reuse rules hold and
+// Delivery is pluggable behind the Transport interface (transport.go).
+// The default channel transport runs every rank as a goroutine in one
+// process (Run); the TCP transport runs one OS process per rank over
+// persistent peer connections (ConnectTCP, cmd/dnsrun), with the same
+// matching semantics, so CartCreate/CartSub/Alltoallv/Stream callers
+// cannot tell the transports apart except by the clock.
+//
+// Sends are eager: the payload is copied (or, on the wire, serialized)
+// before Send returns, so the usual MPI buffer-reuse rules hold and
 // exchange patterns that would deadlock with rendezvous semantics do not.
 package mpi
 
@@ -101,16 +108,11 @@ func (mb *mailbox) take(src int, commID int64, tag int) message {
 	}
 }
 
-type world struct {
-	size  int
-	boxes []*mailbox
-}
-
 // Comm is a communicator: an ordered group of ranks with a private message
 // space. The zero value is not usable; communicators come from Run, Split,
 // or the cartesian constructors.
 type Comm struct {
-	w        *world
+	t        Transport
 	id       int64
 	rank     int   // this process's rank within the communicator
 	group    []int // comm rank -> world rank
@@ -159,10 +161,11 @@ func Run(size int, fn func(c *Comm)) {
 	var wg sync.WaitGroup
 	wg.Add(size)
 	for r := 0; r < size; r++ {
-		c := &Comm{w: w, id: 1, rank: r, group: group}
+		c := &Comm{t: &chanTransport{w: w, self: r}, id: 1, rank: r, group: group}
 		go func() {
 			defer wg.Done()
 			fn(c)
+			c.Close()
 		}()
 	}
 	wg.Wait()
@@ -180,14 +183,14 @@ func (c *Comm) size() int { return len(c.group) }
 // topology-aware performance model and by Figure 4's pattern dump.
 func (c *Comm) WorldRank(rank int) int { return c.group[rank] }
 
-func (c *Comm) myBox() *mailbox { return c.w.boxes[c.group[c.rank]] }
+func (c *Comm) myBox() *mailbox { return c.t.LocalBox() }
 
 // send delivers a payload (already copied) to comm rank dst.
 func (c *Comm) send(dst, tag int, payload any) {
 	if dst < 0 || dst >= c.size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d of %d", dst, c.size()))
 	}
-	c.w.boxes[c.group[dst]].put(message{src: c.group[c.rank], commID: c.id, tag: tag, payload: payload})
+	c.t.Deliver(c.group[dst], message{src: c.group[c.rank], commID: c.id, tag: tag, payload: payload})
 }
 
 // recv blocks until a matching message arrives and returns its payload.
@@ -228,20 +231,24 @@ func Sendrecv[T any](c *Comm, dst, sendTag int, data []T, src, recvTag int) []T 
 	return Recv[T](c, src, recvTag)
 }
 
+// splitTuple is the (color, key, rank) triple Split allgathers. It is a
+// package-level type (not a function-local one) so the wire codec can
+// carry it between processes on the TCP transport.
+type splitTuple struct{ Color, Key, Rank int }
+
 // Split partitions the communicator: ranks passing the same color form a new
 // communicator, ordered by (key, parent rank). Every rank of c must call
 // Split. A negative color returns nil for that rank (MPI_UNDEFINED).
 func (c *Comm) Split(color, key int) *Comm {
 	c.splitSeq++
-	type tuple struct{ color, key, rank int }
-	mine := []tuple{{color, key, c.rank}}
+	mine := []splitTuple{{color, key, c.rank}}
 	// Allgather the tuples through rank 0 of the parent.
-	var all []tuple
+	var all []splitTuple
 	if c.rank == 0 {
-		all = make([]tuple, 0, c.size())
+		all = make([]splitTuple, 0, c.size())
 		all = append(all, mine...)
 		for i := 1; i < c.size(); i++ {
-			t := c.recv(AnySource, tagSplit).([]tuple)
+			t := c.recv(AnySource, tagSplit).([]splitTuple)
 			all = append(all, t...)
 		}
 		for i := 0; i < c.size(); i++ {
@@ -251,33 +258,33 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 	} else {
 		c.send(0, tagSplit, mine)
-		all = c.recv(0, tagSplit).([]tuple)
+		all = c.recv(0, tagSplit).([]splitTuple)
 	}
 	if color < 0 {
 		return nil
 	}
 	// Deterministic group: members with my color sorted by (key, rank).
-	var members []tuple
+	var members []splitTuple
 	for _, t := range all {
-		if t.color == color {
+		if t.Color == color {
 			members = append(members, t)
 		}
 	}
 	for i := 1; i < len(members); i++ { // insertion sort, tiny groups
-		for j := i; j > 0 && (members[j].key < members[j-1].key ||
-			(members[j].key == members[j-1].key && members[j].rank < members[j-1].rank)); j-- {
+		for j := i; j > 0 && (members[j].Key < members[j-1].Key ||
+			(members[j].Key == members[j-1].Key && members[j].Rank < members[j-1].Rank)); j-- {
 			members[j], members[j-1] = members[j-1], members[j]
 		}
 	}
 	group := make([]int, len(members))
 	newRank := -1
 	for i, t := range members {
-		group[i] = c.group[t.rank]
-		if t.rank == c.rank {
+		group[i] = c.group[t.Rank]
+		if t.Rank == c.rank {
 			newRank = i
 		}
 	}
 	// All members derive the same child id deterministically.
 	id := c.id*1_000_003 + int64(c.splitSeq)*1009 + int64(color) + 7
-	return &Comm{w: c.w, id: id, rank: newRank, group: group, tel: c.tel, trc: c.trc}
+	return &Comm{t: c.t, id: id, rank: newRank, group: group, tel: c.tel, trc: c.trc}
 }

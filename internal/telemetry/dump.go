@@ -1,0 +1,93 @@
+package telemetry
+
+import "fmt"
+
+// Cross-process rank merging. On the in-process transports every rank's
+// Collector lives in one Registry, so reports see the whole world for
+// free. On the TCP transport each rank is its own OS process with a
+// single-collector registry; before rank 0 writes the report, every rank
+// Dumps its collector to a fixed-shape []int64 and the dumps ride an
+// ordinary mpi.Gather (fixed shape is what makes the gather legal) so
+// rank 0 can RestoreRank them into its registry. The merged registry is
+// indistinguishable from an in-process run's: the same min/mean/max/
+// imbalance aggregation, the same histogram quantiles, the same
+// schedule-consistency cross-checks in bench-validate.
+
+// dumpLen is the fixed length of a collector dump: per phase the time,
+// call and alloc counters plus the latency histogram buckets; per comm
+// channel its three counters; then flops, steps, step time, and the
+// step-latency histogram.
+const dumpLen = int(NumPhases)*(3+histBuckets) + int(NumCommOps)*3 + 3 + histBuckets
+
+// DumpLen returns the length of every Collector.Dump result.
+func DumpLen() int { return dumpLen }
+
+// Dump serializes the collector's accumulators into a fixed-shape
+// []int64. Concurrent recording during Dump yields a torn-but-valid
+// snapshot (each counter individually atomic), which is the same
+// guarantee Snapshot gives; callers quiesce ranks (a barrier) first when
+// they need exact totals.
+func (c *Collector) Dump() []int64 {
+	out := make([]int64, 0, dumpLen)
+	for i := range c.phases {
+		rec := &c.phases[i]
+		out = append(out, rec.ns.Load(), rec.calls.Load(), rec.allocs.Load())
+		for b := 0; b < histBuckets; b++ {
+			out = append(out, rec.hist.counts[b].Load())
+		}
+	}
+	for i := range c.comm {
+		rec := &c.comm[i]
+		out = append(out, rec.calls.Load(), rec.messages.Load(), rec.bytes.Load())
+	}
+	out = append(out, c.flops.Load(), c.steps.Load(), c.stepNs.Load())
+	for b := 0; b < histBuckets; b++ {
+		out = append(out, c.stepHist.counts[b].Load())
+	}
+	return out
+}
+
+// addDump merges a dump into the collector by addition, so restoring
+// onto a fresh collector reproduces the remote one exactly.
+func (c *Collector) addDump(d []int64) error {
+	if len(d) != dumpLen {
+		return fmt.Errorf("telemetry: dump of %d values, want %d (schema drift between ranks?)", len(d), dumpLen)
+	}
+	k := 0
+	next := func() int64 { v := d[k]; k++; return v }
+	for i := range c.phases {
+		rec := &c.phases[i]
+		rec.ns.Add(next())
+		rec.calls.Add(next())
+		rec.allocs.Add(next())
+		for b := 0; b < histBuckets; b++ {
+			if n := next(); n != 0 {
+				rec.hist.counts[b].Add(n)
+				rec.hist.total.Add(n)
+			}
+		}
+	}
+	for i := range c.comm {
+		rec := &c.comm[i]
+		rec.calls.Add(next())
+		rec.messages.Add(next())
+		rec.bytes.Add(next())
+	}
+	c.flops.Add(next())
+	c.steps.Add(next())
+	c.stepNs.Add(next())
+	for b := 0; b < histBuckets; b++ {
+		if n := next(); n != 0 {
+			c.stepHist.counts[b].Add(n)
+			c.stepHist.total.Add(n)
+		}
+	}
+	return nil
+}
+
+// RestoreRank merges a remote rank's dump into this registry, creating
+// the rank's collector if needed. Restoring twice double-counts; restore
+// each remote rank exactly once.
+func (r *Registry) RestoreRank(rank int, dump []int64) error {
+	return r.Rank(rank).addDump(dump)
+}

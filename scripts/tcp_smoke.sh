@@ -1,0 +1,53 @@
+#!/bin/sh
+# tcp-smoke: the distributed-transport CI drill. dnsrun launches a
+# four-process 2x2 DNS over real localhost sockets, the run checkpoints
+# every few steps, we kill the whole world mid-flight once a committed
+# checkpoint exists, then a two-process world resumes the latest good
+# checkpoint (the elastic P=4 -> P=2 re-shard) and its telemetry report —
+# merged across processes over the wire — must pass bench-validate.
+set -eu
+
+GO=${GO:-go}
+dir=.tcp-smoke
+rm -rf "$dir"
+mkdir -p "$dir"
+$GO build -o "$dir/dns" ./cmd/dns
+$GO build -o "$dir/dnsrun" ./cmd/dnsrun
+
+# Far more steps than we intend to run: the kill below is the exit path.
+"$dir/dnsrun" -n 4 -bin "$dir/dns" -- -nx 16 -ny 17 -nz 16 -pa 2 -pb 2 \
+    -steps 2000 -ckpt-dir "$dir/run.ckpt" -ckpt-every 2 \
+    > "$dir/run.out" 2>&1 &
+pid=$!
+
+# A checkpoint is published by its MANIFEST.json rename, so the first
+# manifest means a complete, resumable snapshot is on disk.
+i=0
+until ls "$dir"/run.ckpt/step-*/MANIFEST.json > /dev/null 2>&1; do
+    if ! kill -0 "$pid" 2> /dev/null; then
+        echo "tcp-smoke: dnsrun exited before its first checkpoint" >&2
+        cat "$dir/run.out" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "tcp-smoke: no checkpoint after 60s" >&2
+        kill "$pid" 2> /dev/null || true
+        cat "$dir/run.out" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+kill "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+
+# Elastic resume at half the world size. ResumeLatest skips any
+# checkpoint the kill left unpublished.
+"$dir/dnsrun" -n 2 -bin "$dir/dns" -- -nx 16 -ny 17 -nz 16 -pa 1 -pb 2 \
+    -steps 2 -ckpt-dir "$dir/run.ckpt" -resume \
+    -report "$dir/BENCH_tcp_resume.json" \
+    > "$dir/resume.out" 2>&1
+grep -q "resumed from step-" "$dir/resume.out"
+$GO run ./cmd/bench-validate "$dir/BENCH_tcp_resume.json"
+echo "tcp-smoke: ok"
