@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke tcp-smoke clean
+.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke tcp-smoke obs-smoke clean
 
-ci: vet build test race bench-smoke bench-diff ckpt-smoke tcp-smoke
+ci: vet build test race bench-smoke bench-diff ckpt-smoke tcp-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +84,13 @@ ckpt-smoke:
 tcp-smoke:
 	sh scripts/tcp_smoke.sh
 
+# Distributed-observability drill: a four-process world with heartbeats
+# and per-rank tracing; scrape the live /metrics + /status dashboard
+# mid-run, then trace-merge the four rank timelines into one Perfetto
+# file and validate its tracks and flow arrows.
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
 clean:
-	rm -rf .bench-smoke .ckpt-smoke .tcp-smoke
+	rm -rf .bench-smoke .ckpt-smoke .tcp-smoke .obs-smoke
 	rm -f *.trace.json

@@ -20,6 +20,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync/atomic"
 
 	"channeldns/internal/ckpt"
 	"channeldns/internal/core"
@@ -55,6 +56,7 @@ func main() {
 		budget  = flag.Bool("budget", false, "print the TKE budget at the end")
 		spectra = flag.Bool("spectra", false, "print 1-D energy spectra at selected heights")
 		listen  = flag.String("listen", "", "serve live telemetry + pprof + expvar on this address (e.g. localhost:6060)")
+		hbEvery = flag.Int("heartbeat-every", 0, "gather per-rank telemetry deltas to rank 0 every N steps for the live /metrics + /status world dashboard (0 = off; a collective, so every rank must run the same value)")
 		repPath = flag.String("report", "", "write the final telemetry report (BENCH-schema JSON) to this file")
 		trcPath = flag.String("trace", "", "record a flight-recorder trace and write it as Chrome trace-event JSON (open in Perfetto) to this file")
 		trcCap  = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default)")
@@ -86,7 +88,7 @@ func main() {
 		Overlap: *overlap, PipelineChunks: *chunks,
 	}
 	var reg *telemetry.Registry
-	if *listen != "" || *repPath != "" || *trcPath != "" {
+	if *listen != "" || *repPath != "" || *trcPath != "" || *hbEvery > 0 {
 		reg = telemetry.NewRegistry()
 		cfg.Telemetry = reg
 	}
@@ -95,14 +97,25 @@ func main() {
 		trc = trace.New(*trcCap)
 		cfg.Trace = trc
 	}
+	// wireSum carries the end-of-run wire-counter gather (TCP runs, set on
+	// rank 0) into the report; atomic because the live /telemetry handler
+	// may encode a report while the run loop stores it.
+	var wireSum atomic.Pointer[telemetry.WireSummary]
 	buildReport := func() *telemetry.Report {
-		rep := telemetry.NewReport("dns", reg, map[string]string{
+		config := map[string]string{
 			"nx": fmt.Sprint(*nx), "ny": fmt.Sprint(*ny), "nz": fmt.Sprint(*nz),
 			"re_tau": fmt.Sprint(*retau), "dt": fmt.Sprint(*dt),
 			"steps": fmt.Sprint(*steps), "pa": fmt.Sprint(*pa), "pb": fmt.Sprint(*pb),
 			"threads": fmt.Sprint(*threads), "form": *form,
 			"overlap": fmt.Sprint(*overlap), "transport": *transportF,
-		})
+		}
+		if *transportF == "tcp" {
+			// One process = one rank of a world; stamp which, so a scraped
+			// /telemetry payload is identifiable.
+			config["rank"] = fmt.Sprint(*rankF)
+			config["world"] = fmt.Sprint(*worldF)
+		}
+		rep := telemetry.NewReport("dns", reg, config)
 		if trc != nil {
 			rep.Trace = trace.Summarize(trc)
 		}
@@ -111,17 +124,27 @@ func main() {
 			// the other forms move different forward-path traffic.
 			rep.Schedule = cfg.Schedule()
 		}
+		rep.Wire = wireSum.Load()
 		return rep
 	}
+	// The world tracker lives on every rank (so /metrics and /status always
+	// answer) but only rank 0's heartbeat gather ever feeds it; other
+	// ranks' dashboards stay empty and their index page says where to look.
+	var tracker *telemetry.WorldTracker
 	if *listen != "" {
+		tracker = telemetry.NewWorldTracker(*pa * *pb)
 		mux := http.NewServeMux()
-		mux.Handle("/", telemetry.Handler(reg, buildReport))
+		mux.Handle("/", telemetry.HandlerWithIdentity(reg, buildReport, telemetry.Identity{
+			Rank: *rankF, World: *worldF, Transport: *transportF,
+		}))
 		mux.Handle("/trace", trace.Handler(trc))
+		mux.Handle("/metrics", telemetry.MetricsHandler(tracker))
+		mux.Handle("/status", telemetry.StatusHandler(tracker))
 		addr, err := telemetry.ServeHandler(*listen, mux)
 		if err != nil {
 			log.Fatalf("telemetry endpoint: %v", err)
 		}
-		fmt.Printf("telemetry endpoint: http://%s/telemetry (trace under /trace, pprof under /debug/pprof/)\n", addr)
+		fmt.Printf("telemetry endpoint: http://%s/telemetry (world dashboard under /metrics + /status, trace under /trace, pprof under /debug/pprof/)\n", addr)
 	}
 	switch *form {
 	case "divergence":
@@ -150,6 +173,37 @@ func main() {
 
 	var finalErr error
 	body := func(c *mpi.Comm) {
+		// Align this process's clock against rank 0 before any timed work,
+		// so the trace export carries the offset that makes per-rank
+		// timelines mergeable (cmd/trace-merge). In-process ranks share one
+		// clock and need none of this.
+		if isTCP && trc != nil && c.Size() > 1 {
+			cs := mpi.SyncClocks(c, 8)
+			trc.SetClockSync(cs.OffsetNs, cs.ErrorNs)
+		}
+		// heartbeat ships every rank's telemetry (and, on the wire, its
+		// transport counters) to rank 0's world tracker. A collective:
+		// every rank calls it at the same step.
+		heartbeat := func() {
+			payload := reg.Rank(c.Rank()).Dump()
+			if ws, ok := c.WireStats(); ok {
+				payload = append(payload, ws.Dump()...)
+			}
+			world, arrivals := mpi.GatherHeartbeat(c, 0, payload)
+			if c.Rank() == 0 && tracker != nil {
+				n := len(payload)
+				for r := 0; r < c.Size(); r++ {
+					if err := tracker.ObserveDump(r, world[r*n:(r+1)*n], arrivals[r]); err != nil {
+						fmt.Fprintf(os.Stderr, "heartbeat: %v\n", err)
+					}
+				}
+			}
+			// Clocks drift; refresh the trace alignment at heartbeat cadence.
+			if isTCP && trc != nil && c.Size() > 1 {
+				cs := mpi.SyncClocks(c, 4)
+				trc.SetClockSync(cs.OffsetNs, cs.ErrorNs)
+			}
+		}
 		s, err := core.New(c, cfg)
 		if err != nil {
 			if c.Rank() == 0 {
@@ -218,6 +272,9 @@ func main() {
 		report()
 		for i := 1; i <= *steps; i++ {
 			s.AdvanceAdaptive(1, 0.8, 5)
+			if *hbEvery > 0 && i%*hbEvery == 0 {
+				heartbeat()
+			}
 			if store != nil && *ckptEvr > 0 && i%*ckptEvr == 0 && !writeCkpt() {
 				return
 			}
@@ -306,8 +363,24 @@ func main() {
 				}
 			}
 		}
+		// Likewise the wire counters: gather every rank's transport dump so
+		// the report's wire block covers the world.
+		if ws, ok := c.WireStats(); ok && reg != nil {
+			dumps := mpi.Gather(c, 0, ws.Dump())
+			if c.Rank() == 0 {
+				sum, err := telemetry.WireSummaryFromDumps(c.TransportName(), c.Size(), dumps)
+				if err != nil {
+					finalErr = err
+				} else {
+					wireSum.Store(sum)
+				}
+			}
+		}
 	}
 	if isTCP {
+		if trc != nil {
+			trc.SetIdentity(*rankF, *worldF)
+		}
 		c, err := mpi.ConnectTCP(mpi.TCPConfig{
 			Rank: *rankF, World: *worldF, Coord: *coordF,
 			Bind: *bindF, Advertise: *advertF,

@@ -149,13 +149,30 @@ func fatalf(format string, a ...any) {
 	os.Exit(2)
 }
 
-// forward copies one child stream line by line under a rank prefix.
+// outMu serializes the forwarders' writes: one lock per complete line, so
+// concurrent ranks' output interleaves only at line boundaries, never
+// mid-line.
+var outMu sync.Mutex
+
+// forward copies one child stream line by line under a rank prefix. Each
+// prefixed line is assembled in full and written under outMu in a single
+// Write, so no rank's line can be split by another's. A Reader rather
+// than a Scanner: Scanner silently stops at its buffer cap, dropping the
+// rest of a stream whose line exceeds it.
 func forward(wg *sync.WaitGroup, rank int, from io.Reader, to io.Writer) {
 	defer wg.Done()
-	sc := bufio.NewScanner(from)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		fmt.Fprintf(to, "[rank %d] %s\n", rank, sc.Text())
+	br := bufio.NewReaderSize(from, 64*1024)
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) > 0 {
+			line = strings.TrimSuffix(line, "\n")
+			outMu.Lock()
+			fmt.Fprintf(to, "[rank %d] %s\n", rank, line)
+			outMu.Unlock()
+		}
+		if err != nil {
+			return // io.EOF on child exit; anything else ends the stream too
+		}
 	}
 }
 

@@ -1,0 +1,97 @@
+// Command trace-merge joins the per-rank Chrome trace files of a
+// distributed run (cmd/dns -transport=tcp writes one per rank) into a
+// single Perfetto timeline on rank 0's clock: one track per rank, events
+// shifted by each file's stamped clock offset, and flow arrows linking
+// the matched transpose exchange windows across ranks. The merged file
+// passes bench-validate -trace (track monotonicity, flow referential
+// integrity) and, with -summary, the whole-world critical-path table is
+// printed — which rank gated each step, seen across the entire world
+// rather than one process.
+//
+//	trace-merge -o merged.json run.trace.json run.trace.json.rank1 ...
+//
+// Clock caveat: offsets are RTT-estimated with error bound RTT/2 per
+// rank; cross-rank orderings tighter than the printed bounds are noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"channeldns/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "merged.trace.json", "output path for the merged trace")
+	summary := flag.Bool("summary", false, "print the whole-world critical-path straggler table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: trace-merge [-o merged.json] [-summary] rank-trace.json ...")
+		os.Exit(2)
+	}
+	traces := make([]*trace.RankTrace, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal("%s: %v", path, err)
+		}
+		rt, err := trace.ParseChrome(raw)
+		if err != nil {
+			fatal("%s: %v", path, err)
+		}
+		traces = append(traces, rt)
+	}
+	m, err := trace.Merge(traces)
+	if err != nil {
+		fatal("merge: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := m.WriteChrome(f); err != nil {
+		f.Close()
+		fatal("%s: %v", *out, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%s: %v", *out, err)
+	}
+	// Self-check: the file this tool emits must pass the same validator
+	// CI runs over it, including flow referential integrity.
+	raw, err := os.ReadFile(*out)
+	if err != nil {
+		fatal("%s: %v", *out, err)
+	}
+	n, err := trace.ValidateChrome(raw)
+	if err != nil {
+		fatal("%s: self-validation failed: %v", *out, err)
+	}
+	events := 0
+	for _, evs := range m.PerRank {
+		events += len(evs)
+	}
+	fmt.Printf("merged %d ranks, %d events, %d flow arrows -> %s (%d trace events)\n",
+		len(flag.Args()), events, m.FlowArrows, *out, n)
+	for rank, errNs := range m.ErrorNs {
+		if m.PerRank[rank] == nil {
+			continue
+		}
+		fmt.Printf("  rank %d: clock error bound %v\n", rank, time.Duration(errNs))
+	}
+	if *summary {
+		reports := m.Analyze()
+		if len(reports) == 0 {
+			fmt.Println("no complete steps to analyze")
+			return
+		}
+		trace.WriteStragglerTable(os.Stdout, reports)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trace-merge: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -42,6 +42,8 @@ const (
 	tagAlltoall
 	tagSplit
 	tagStream
+	tagClock     // SyncClocks ping-pong (clock.go)
+	tagHeartbeat // GatherHeartbeat telemetry deltas (clock.go)
 )
 
 type message struct {

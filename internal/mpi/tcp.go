@@ -72,6 +72,20 @@ type tcpPeer struct {
 	cond   *sync.Cond
 	queue  [][]byte // encoded frames awaiting the writer
 	closed bool     // no further enqueues; writer flushes and half-closes
+
+	// Wire counters for this link, atomically bumped on the send path
+	// (Deliver) and the receive path (readLoop) and read by WireStats at
+	// any time. Outbound counts are taken at enqueue, not at socket write:
+	// they measure what the rank asked the wire to carry, independent of
+	// writer-queue drain timing.
+	framesOut   atomic.Int64
+	bytesOut    atomic.Int64 // whole frames, header included
+	payloadOut  atomic.Int64 // serialized payload only
+	framesIn    atomic.Int64
+	bytesIn     atomic.Int64
+	payloadIn   atomic.Int64
+	queueHWM    atomic.Int64 // deepest the writer queue has been
+	serializeNs atomic.Int64 // time spent in encodeFrame
 }
 
 func (p *tcpPeer) enqueue(frame []byte) {
@@ -81,6 +95,9 @@ func (p *tcpPeer) enqueue(frame []byte) {
 		panic("mpi: send on closed TCP transport")
 	}
 	p.queue = append(p.queue, frame)
+	if depth := int64(len(p.queue)); depth > p.queueHWM.Load() {
+		p.queueHWM.Store(depth) // mu serializes enqueuers; plain check-then-store is safe
+	}
 	p.mu.Unlock()
 	p.cond.Signal()
 }
@@ -125,6 +142,7 @@ type tcpTransport struct {
 	peers       []*tcpPeer // indexed by world rank, nil at self
 	wg          sync.WaitGroup
 	closing     atomic.Bool
+	dialRetries atomic.Int64 // failed bootstrap dial attempts (rendezvous + mesh)
 }
 
 func (t *tcpTransport) Self() int          { return t.self }
@@ -141,8 +159,19 @@ func (t *tcpTransport) Deliver(dst int, m message) {
 		t.box.put(m)
 		return
 	}
-	t.peers[dst].enqueue(encodeFrame(m))
+	p := t.peers[dst]
+	t0 := time.Now()
+	frame := encodeFrame(m)
+	p.serializeNs.Add(int64(time.Since(t0)))
+	p.framesOut.Add(1)
+	p.bytesOut.Add(int64(len(frame)))
+	p.payloadOut.Add(int64(len(frame)) - frameHeaderLen)
+	p.enqueue(frame)
 }
+
+// frameHeaderLen is the fixed per-frame overhead: the u32 length prefix
+// plus the src/commID/tag/kind header it counts.
+const frameHeaderLen = 21
 
 // encodeFrame serializes a message into one wire frame.
 func encodeFrame(m message) []byte {
@@ -159,12 +188,17 @@ func encodeFrame(m message) []byte {
 }
 
 // readLoop decodes frames from one peer connection into the local
-// mailbox until EOF (peer closed) or a transport-shutdown error.
-func (t *tcpTransport) readLoop(conn net.Conn) {
+// mailbox until EOF (peer closed) or a transport-shutdown error. Inbound
+// counters are bumped before the mailbox put, so a blocking receive that
+// returns a message happens-after its counters were updated (the mailbox
+// mutex orders them) — which is what lets tests read exact counts right
+// after a collective completes.
+func (t *tcpTransport) readLoop(p *tcpPeer) {
 	defer t.wg.Done()
+	conn := p.conn
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	var hdr [21]byte // len + src + commID + tag + kind
+	var hdr [frameHeaderLen]byte // len + src + commID + tag + kind
 	for {
 		if _, err := io.ReadFull(br, hdr[:4]); err != nil {
 			if err == io.EOF || t.closing.Load() {
@@ -173,17 +207,17 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			panic(fmt.Sprintf("mpi: tcp rank %d: reading frame header: %v", t.self, err))
 		}
 		n := binary.LittleEndian.Uint32(hdr[:4])
-		if n < 17 {
+		if n < frameHeaderLen-4 {
 			panic(fmt.Sprintf("mpi: tcp rank %d: frame of %d bytes", t.self, n))
 		}
-		if _, err := io.ReadFull(br, hdr[4:21]); err != nil {
+		if _, err := io.ReadFull(br, hdr[4:frameHeaderLen]); err != nil {
 			panic(fmt.Sprintf("mpi: tcp rank %d: reading frame: %v", t.self, err))
 		}
 		src := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
 		commID := int64(binary.LittleEndian.Uint64(hdr[8:]))
 		tag := int(int32(binary.LittleEndian.Uint32(hdr[16:])))
 		kind := wireKind(hdr[20])
-		body := make([]byte, n-17)
+		body := make([]byte, n-(frameHeaderLen-4))
 		if _, err := io.ReadFull(br, body); err != nil {
 			panic(fmt.Sprintf("mpi: tcp rank %d: reading frame body: %v", t.self, err))
 		}
@@ -191,6 +225,9 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		if err != nil {
 			panic(fmt.Sprintf("mpi: tcp rank %d: %v", t.self, err))
 		}
+		p.framesIn.Add(1)
+		p.bytesIn.Add(int64(n) + 4)
+		p.payloadIn.Add(int64(len(body)))
 		t.box.put(message{src: src, commID: commID, tag: tag, payload: payload})
 	}
 }
@@ -262,10 +299,11 @@ func dialWorld(cfg TCPConfig) (*tcpTransport, error) {
 	defer peerLn.Close()
 	myAddr := advertisedAddr(peerLn.Addr().String(), cfg.Advertise)
 
-	addrs, err := rendezvous(cfg, myAddr, deadline)
+	addrs, retries, err := rendezvous(cfg, myAddr, deadline)
 	if err != nil {
 		return nil, err
 	}
+	t.dialRetries.Add(int64(retries))
 
 	// Accept links from every higher rank while dialing every lower one.
 	type accepted struct {
@@ -294,7 +332,8 @@ func dialWorld(cfg TCPConfig) (*tcpTransport, error) {
 		}()
 	}
 	for j := 0; j < cfg.Rank; j++ {
-		conn, err := dialRetry(addrs[j], deadline)
+		conn, retries, err := dialRetry(addrs[j], deadline)
+		t.dialRetries.Add(int64(retries))
 		if err != nil {
 			return nil, fmt.Errorf("mpi: tcp rank %d dialing rank %d at %s: %w", cfg.Rank, j, addrs[j], err)
 		}
@@ -328,7 +367,7 @@ func (t *tcpTransport) addPeer(rank int, conn net.Conn) {
 	t.peers[rank] = p
 	t.wg.Add(2)
 	go p.writeLoop(&t.wg)
-	go t.readLoop(conn)
+	go t.readLoop(p)
 }
 
 // advertisedAddr combines a bound address with an optional advertise
@@ -348,15 +387,16 @@ func advertisedAddr(bound, advertise string) string {
 }
 
 // rendezvous runs the rank-0 bootstrap exchange and returns the world
-// rank -> peer address table.
-func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, error) {
+// rank -> peer address table plus the number of failed coordinator dial
+// attempts (always 0 on rank 0, which listens).
+func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, int, error) {
 	if cfg.Rank == 0 {
 		ln := cfg.coordLn
 		if ln == nil {
 			var err error
 			ln, err = net.Listen("tcp", cfg.Coord)
 			if err != nil {
-				return nil, fmt.Errorf("mpi: tcp coordinator listener on %s: %w", cfg.Coord, err)
+				return nil, 0, fmt.Errorf("mpi: tcp coordinator listener on %s: %w", cfg.Coord, err)
 			}
 		}
 		defer ln.Close()
@@ -374,42 +414,42 @@ func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, err
 		for have := 1; have < cfg.World; have++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				return nil, fmt.Errorf("mpi: coordinator waiting for %d more ranks: %w", cfg.World-have, err)
+				return nil, 0, fmt.Errorf("mpi: coordinator waiting for %d more ranks: %w", cfg.World-have, err)
 			}
 			conn.SetDeadline(deadline)
 			conns = append(conns, conn)
 			rank, addr, err := readHello(conn)
 			if err != nil {
-				return nil, fmt.Errorf("mpi: coordinator hello: %w", err)
+				return nil, 0, fmt.Errorf("mpi: coordinator hello: %w", err)
 			}
 			if rank <= 0 || rank >= cfg.World || addrs[rank] != "" {
-				return nil, fmt.Errorf("mpi: coordinator: bad or duplicate hello from rank %d", rank)
+				return nil, 0, fmt.Errorf("mpi: coordinator: bad or duplicate hello from rank %d", rank)
 			}
 			addrs[rank] = addr
 		}
 		table := encodeTable(addrs)
 		for _, conn := range conns {
 			if _, err := conn.Write(table); err != nil {
-				return nil, fmt.Errorf("mpi: coordinator sending table: %w", err)
+				return nil, 0, fmt.Errorf("mpi: coordinator sending table: %w", err)
 			}
 		}
-		return addrs, nil
+		return addrs, 0, nil
 	}
 
-	conn, err := dialRetry(cfg.Coord, deadline)
+	conn, retries, err := dialRetry(cfg.Coord, deadline)
 	if err != nil {
-		return nil, fmt.Errorf("mpi: rank %d dialing coordinator %s: %w", cfg.Rank, cfg.Coord, err)
+		return nil, retries, fmt.Errorf("mpi: rank %d dialing coordinator %s: %w", cfg.Rank, cfg.Coord, err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
 	if err := writeHello(conn, cfg.Rank, myAddr); err != nil {
-		return nil, fmt.Errorf("mpi: rank %d hello: %w", cfg.Rank, err)
+		return nil, retries, fmt.Errorf("mpi: rank %d hello: %w", cfg.Rank, err)
 	}
 	addrs, err := decodeTable(conn, cfg.World)
 	if err != nil {
-		return nil, fmt.Errorf("mpi: rank %d receiving address table: %w", cfg.Rank, err)
+		return nil, retries, fmt.Errorf("mpi: rank %d receiving address table: %w", cfg.Rank, err)
 	}
-	return addrs, nil
+	return addrs, retries, nil
 }
 
 func writeHello(conn net.Conn, rank int, addr string) error {
@@ -474,16 +514,17 @@ func decodeTable(r io.Reader, world int) ([]string, error) {
 
 // dialRetry dials addr until it succeeds or the deadline passes —
 // launchers start ranks in arbitrary order, so early dials race the
-// listener coming up.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+// listener coming up. retries counts the failed attempts.
+func dialRetry(addr string, deadline time.Time) (conn net.Conn, retries int, err error) {
 	backoff := 5 * time.Millisecond
 	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
-			return conn, nil
+			return conn, retries, nil
 		}
+		retries++
 		if time.Now().Add(backoff).After(deadline) {
-			return nil, err
+			return nil, retries, err
 		}
 		time.Sleep(backoff)
 		if backoff < 200*time.Millisecond {

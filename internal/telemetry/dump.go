@@ -91,3 +91,39 @@ func (c *Collector) addDump(d []int64) error {
 func (r *Registry) RestoreRank(rank int, dump []int64) error {
 	return r.Rank(rank).addDump(dump)
 }
+
+// DumpView is a read-only decoded view over one collector dump, for
+// consumers that want individual counters without restoring into a
+// registry (the world tracker reads step and phase counters out of
+// heartbeat dumps this way). The view aliases the dump slice.
+type DumpView struct{ d []int64 }
+
+// ViewDump wraps a dump for field access; ok is false when the slice is
+// not dump-shaped.
+func ViewDump(d []int64) (DumpView, bool) {
+	if len(d) != dumpLen {
+		return DumpView{}, false
+	}
+	return DumpView{d: d}, true
+}
+
+// PhaseNs returns the accumulated nanoseconds of a phase.
+func (v DumpView) PhaseNs(p Phase) int64 { return v.d[int(p)*(3+histBuckets)] }
+
+// PhaseCalls returns the closed-region count of a phase.
+func (v DumpView) PhaseCalls(p Phase) int64 { return v.d[int(p)*(3+histBuckets)+1] }
+
+// CommCounts returns the (calls, messages, bytes) counters of a channel.
+func (v DumpView) CommCounts(op CommOp) (calls, messages, bytes int64) {
+	base := int(NumPhases)*(3+histBuckets) + int(op)*3
+	return v.d[base], v.d[base+1], v.d[base+2]
+}
+
+// Steps returns the completed-timestep count.
+func (v DumpView) Steps() int64 { return v.d[int(NumPhases)*(3+histBuckets)+int(NumCommOps)*3+1] }
+
+// StepNs returns the accumulated timestep nanoseconds.
+func (v DumpView) StepNs() int64 { return v.d[int(NumPhases)*(3+histBuckets)+int(NumCommOps)*3+2] }
+
+// Flops returns the accumulated floating-point work.
+func (v DumpView) Flops() int64 { return v.d[int(NumPhases)*(3+histBuckets)+int(NumCommOps)*3] }

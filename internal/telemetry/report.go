@@ -79,6 +79,10 @@ type Report struct {
 	// measured comm table. Absent from reports of tools without a single
 	// underlying program.
 	Schedule *schedule.Schedule `json:"schedule,omitempty"`
+	// Wire carries the transport-level counters of a run over a wire
+	// transport (frames, bytes, queue depths per rank — see WireSummary).
+	// Absent from in-process runs, where no wire exists.
+	Wire *WireSummary `json:"wire,omitempty"`
 }
 
 // TraceSummary is the critical-path digest of a flight-recorder trace:
@@ -268,6 +272,9 @@ func (r *Report) Validate() error {
 		}
 	}
 	if err := r.validateSchedule(); err != nil {
+		return err
+	}
+	if err := r.validateWire(); err != nil {
 		return err
 	}
 	return nil

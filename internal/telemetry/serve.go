@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -30,10 +31,24 @@ var (
 	publishReg  *Registry
 )
 
+// Identity names a process's place in a distributed run, for the
+// endpoint's index page: without it, a rank's -listen endpoint looks like
+// a whole run instead of one rank of a world.
+type Identity struct {
+	Rank, World int
+	Transport   string
+}
+
 // Handler returns the observability mux for a registry. report builds the
 // current Report on demand (typically a closure over the run's table name
 // and config fingerprint).
 func Handler(reg *Registry, report func() *Report) http.Handler {
+	return HandlerWithIdentity(reg, report, Identity{})
+}
+
+// HandlerWithIdentity is Handler plus an index page at / identifying
+// which rank of which world this process is.
+func HandlerWithIdentity(reg *Registry, report func() *Report, id Identity) http.Handler {
 	publishMu.Lock()
 	publishReg = reg
 	publishMu.Unlock()
@@ -60,6 +75,21 @@ func Handler(reg *Registry, report func() *Report) http.Handler {
 		if err := report().Encode(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if id.World > 1 {
+			fmt.Fprintf(w, "channeldns rank %d of world %d (transport %s)\n", id.Rank, id.World, id.Transport)
+			fmt.Fprintf(w, "per-rank view: /telemetry and /trace cover this rank only;\n")
+			fmt.Fprintf(w, "rank 0 serves the world view on /metrics and /status.\n\n")
+		} else {
+			fmt.Fprintf(w, "channeldns run\n\n")
+		}
+		fmt.Fprint(w, "endpoints:\n  /telemetry\n  /metrics\n  /status\n  /trace\n  /debug/vars\n  /debug/pprof/\n")
 	})
 	return mux
 }

@@ -1,0 +1,135 @@
+package telemetry
+
+import "fmt"
+
+// Wire-level transport metrics. The TCP transport (internal/mpi) counts
+// frames, bytes and payload bytes per peer link, the writer-queue depth
+// high-water mark, serialization time and bootstrap dial retries — the
+// observability of the wire itself, underneath the payload-level comm
+// accounting the collectors keep. The flat dump layout below is the
+// contract between the transport (which produces dumps) and this package
+// (which aggregates them into the report's wire block); it lives here
+// because mpi already imports telemetry, not the other way around.
+//
+// Layout of one rank's wire dump (all int64):
+//
+//	word 0:               dial retries during bootstrap
+//	words 1+8p .. 8+8p:   peer p's counters — frames out, bytes out,
+//	                      payload out, frames in, bytes in, payload in,
+//	                      queue high-water, serialize ns
+//
+// The self slot (p == rank) is all zeros: self-sends never touch the wire.
+
+// WirePeerDumpLen is the number of words per peer in a wire dump.
+const WirePeerDumpLen = 8
+
+// Indices of one peer's counters within its dump slot.
+const (
+	WireFramesOut = iota
+	WireBytesOut
+	WirePayloadOut
+	WireFramesIn
+	WireBytesIn
+	WirePayloadIn
+	WireQueueHighWater
+	WireSerializeNs
+)
+
+// WireDumpLen returns the fixed length of one rank's wire dump for a
+// world of the given size.
+func WireDumpLen(world int) int { return 1 + world*WirePeerDumpLen }
+
+// WireRankStats is one rank's wire counters summed over its peer links,
+// one row of the report's wire block.
+type WireRankStats struct {
+	Rank int `json:"rank"`
+	// DialRetries counts failed bootstrap dial attempts before the mesh
+	// came up (launchers start ranks in arbitrary order, so nonzero values
+	// are normal; large ones mark slow starters).
+	DialRetries int64 `json:"dial_retries,omitempty"`
+	// FramesOut/BytesOut count whole wire frames written toward peers;
+	// PayloadOut is the serialized payload portion (bytes minus the fixed
+	// per-frame header), the number the schedule IR predicts.
+	FramesOut  int64 `json:"frames_out"`
+	BytesOut   int64 `json:"bytes_out"`
+	PayloadOut int64 `json:"payload_out"`
+	// FramesIn/BytesIn/PayloadIn are the receive-side counterparts,
+	// counted at frame decode.
+	FramesIn  int64 `json:"frames_in"`
+	BytesIn   int64 `json:"bytes_in"`
+	PayloadIn int64 `json:"payload_in"`
+	// QueueHighWater is the deepest any peer's writer queue ever got — a
+	// backpressure signature (the eager queue is unbounded; depth is the
+	// cost).
+	QueueHighWater int64 `json:"queue_high_water,omitempty"`
+	// SerializeSeconds is the total time spent encoding payloads into
+	// frames on the send path.
+	SerializeSeconds float64 `json:"serialize_seconds,omitempty"`
+}
+
+// WireSummary is the report's wire block: per-rank transport counters for
+// a run carried by a wire transport. Absent from in-process runs.
+type WireSummary struct {
+	Transport string          `json:"transport"`
+	Ranks     []WireRankStats `json:"ranks"`
+}
+
+// WireSummaryFromDumps aggregates per-rank wire dumps (concatenated in
+// rank order, each WireDumpLen(world) words) into the report block.
+func WireSummaryFromDumps(transport string, world int, dumps []int64) (*WireSummary, error) {
+	n := WireDumpLen(world)
+	if len(dumps) != world*n {
+		return nil, fmt.Errorf("telemetry: wire dumps of %d values, want %d (world %d)", len(dumps), world*n, world)
+	}
+	sum := &WireSummary{Transport: transport, Ranks: make([]WireRankStats, world)}
+	for r := 0; r < world; r++ {
+		d := dumps[r*n : (r+1)*n]
+		row := &sum.Ranks[r]
+		row.Rank = r
+		row.DialRetries = d[0]
+		for p := 0; p < world; p++ {
+			pc := d[1+p*WirePeerDumpLen:]
+			row.FramesOut += pc[WireFramesOut]
+			row.BytesOut += pc[WireBytesOut]
+			row.PayloadOut += pc[WirePayloadOut]
+			row.FramesIn += pc[WireFramesIn]
+			row.BytesIn += pc[WireBytesIn]
+			row.PayloadIn += pc[WirePayloadIn]
+			if hw := pc[WireQueueHighWater]; hw > row.QueueHighWater {
+				row.QueueHighWater = hw
+			}
+			row.SerializeSeconds += float64(pc[WireSerializeNs]) / 1e9
+		}
+	}
+	return sum, nil
+}
+
+// validateWire checks the structural invariants of a report's wire block.
+func (r *Report) validateWire() error {
+	w := r.Wire
+	if w == nil {
+		return nil
+	}
+	if w.Transport == "" {
+		return fmt.Errorf("wire: empty transport name")
+	}
+	prev := -1
+	for _, row := range w.Ranks {
+		if row.Rank <= prev {
+			return fmt.Errorf("wire: ranks not ascending at rank %d", row.Rank)
+		}
+		prev = row.Rank
+		if row.DialRetries < 0 || row.FramesOut < 0 || row.BytesOut < 0 || row.PayloadOut < 0 ||
+			row.FramesIn < 0 || row.BytesIn < 0 || row.PayloadIn < 0 ||
+			row.QueueHighWater < 0 || row.SerializeSeconds < 0 {
+			return fmt.Errorf("wire: rank %d: negative counters", row.Rank)
+		}
+		if row.PayloadOut > row.BytesOut || row.PayloadIn > row.BytesIn {
+			return fmt.Errorf("wire: rank %d: payload exceeds frame bytes", row.Rank)
+		}
+		if row.FramesOut > 0 && row.BytesOut < row.FramesOut {
+			return fmt.Errorf("wire: rank %d: %d frames in %d bytes", row.Rank, row.FramesOut, row.BytesOut)
+		}
+	}
+	return nil
+}

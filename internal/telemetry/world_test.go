@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// heartbeatDump hand-builds a collector dump with the given step totals
+// plus one phase and one comm channel populated, using the same layout
+// arithmetic DumpView reads with.
+func heartbeatDump(steps, stepNs int64, phase Phase, phaseNs int64, op CommOp, bytes int64) []int64 {
+	d := make([]int64, DumpLen())
+	d[int(phase)*(3+histBuckets)] = phaseNs
+	d[int(phase)*(3+histBuckets)+1] = 1
+	base := int(NumPhases)*(3+histBuckets) + int(op)*3
+	d[base], d[base+1], d[base+2] = 1, 2, bytes
+	tail := int(NumPhases)*(3+histBuckets) + int(NumCommOps)*3
+	d[tail+1], d[tail+2] = steps, stepNs
+	return d
+}
+
+func observe(t *testing.T, tr *WorldTracker, rank int, steps, stepNs, heard int64) {
+	t.Helper()
+	if err := tr.ObserveDump(rank, heartbeatDump(steps, stepNs, PhaseNonlinear, stepNs/2, CommYtoZ, 1<<20), heard); err != nil {
+		t.Fatalf("observe rank %d: %v", rank, err)
+	}
+}
+
+func TestWorldTrackerRollingAndStatus(t *testing.T) {
+	tr := NewWorldTracker(3)
+	now := int64(1e15)
+	observe(t, tr, 0, 10, 1e9, now)
+	observe(t, tr, 0, 20, 2e9, now+5e9) // +10 steps in +1e9 ns → 0.1 s/step
+	observe(t, tr, 1, 5, 5e8, now)
+
+	st := tr.Status(now + 6e9)
+	if st.World != 3 || len(st.Ranks) != 3 {
+		t.Fatalf("status world %d (%d rows)", st.World, len(st.Ranks))
+	}
+	r0 := st.Ranks[0]
+	if !r0.Heard || r0.Steps != 20 || r0.RollingStepSeconds != 0.1 {
+		t.Errorf("rank 0 status %+v, want heard, 20 steps, rolling 0.1s", r0)
+	}
+	if r0.LastHeardSeconds != 1 {
+		t.Errorf("rank 0 staleness %g, want 1s", r0.LastHeardSeconds)
+	}
+	r1 := st.Ranks[1]
+	if !r1.Heard || r1.RollingStepSeconds != 0 || r1.LastHeardSeconds != 6 {
+		t.Errorf("rank 1 status %+v, want heard, no rolling rate yet, 6s stale", r1)
+	}
+	if st.Ranks[2].Heard {
+		t.Error("rank 2 marked heard without a heartbeat")
+	}
+	// A single rolling sample cannot be a straggler relative to itself.
+	for _, r := range st.Ranks {
+		if r.Straggler {
+			t.Errorf("rank %d flagged straggler with one rolling sample in the world", r.Rank)
+		}
+	}
+	if got := tr.observedRanks(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("observed ranks %v, want [0 1]", got)
+	}
+}
+
+func TestWorldTrackerStragglerFlag(t *testing.T) {
+	tr := NewWorldTracker(3)
+	now := int64(1e15)
+	// Rolling step times 0.1s, 0.1s, 0.3s: mean 0.1667s, threshold 0.2s.
+	for rank, rolling := range []int64{1e8, 1e8, 3e8} {
+		observe(t, tr, rank, 10, 10*rolling, now)
+		observe(t, tr, rank, 20, 20*rolling, now+1)
+	}
+	st := tr.Status(now + 2)
+	for rank, want := range []bool{false, false, true} {
+		if st.Ranks[rank].Straggler != want {
+			t.Errorf("rank %d straggler=%v, want %v", rank, st.Ranks[rank].Straggler, want)
+		}
+	}
+}
+
+func TestWorldTrackerRejectsBadObservations(t *testing.T) {
+	tr := NewWorldTracker(2)
+	if err := tr.ObserveDump(2, heartbeatDump(1, 1, PhaseNonlinear, 0, CommYtoZ, 0), 1); err == nil {
+		t.Error("rank outside the world accepted")
+	}
+	if err := tr.ObserveDump(0, make([]int64, DumpLen()+1), 1); err == nil {
+		t.Error("payload of unexpected shape accepted")
+	}
+}
+
+func TestWorldTrackerMetricsOutput(t *testing.T) {
+	tr := NewWorldTracker(2)
+	now := int64(1e15)
+	observe(t, tr, 0, 10, 1e9, now)
+	observe(t, tr, 0, 20, 2e9, now+1e9)
+
+	// Rank 1 heartbeats with a wire dump appended, as a TCP run's do.
+	wire := make([]int64, WireDumpLen(2))
+	peer0 := wire[1:]
+	peer0[WireFramesOut], peer0[WireBytesOut], peer0[WirePayloadOut] = 7, 900, 753
+	peer0[WireFramesIn], peer0[WireBytesIn], peer0[WirePayloadIn] = 6, 800, 674
+	payload := append(heartbeatDump(15, 3e9, PhaseNonlinear, 1e9, CommYtoZ, 1<<20), wire...)
+	if err := tr.ObserveDump(1, payload, now+1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	tr.WriteMetrics(&sb, now+2e9)
+	out := sb.String()
+	for _, want := range []string{
+		"channeldns_world_size 2",
+		`channeldns_rank_steps_total{rank="0"} 20`,
+		`channeldns_rank_steps_total{rank="1"} 15`,
+		`channeldns_rank_step_seconds_rolling{rank="0"} 0.1`,
+		`channeldns_rank_straggler{rank="0"} 0`,
+		fmt.Sprintf(`channeldns_rank_phase_seconds_total{rank="1",phase="%s"} 1`, PhaseNonlinear),
+		fmt.Sprintf(`channeldns_rank_comm_bytes_total{rank="0",op="%s"} %d`, CommYtoZ, 1<<20),
+		`channeldns_rank_wire_frames_out_total{rank="1"} 7`,
+		`channeldns_rank_wire_bytes_in_total{rank="1"} 800`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Rank 0 never sent a wire dump; it must not fabricate wire series.
+	if strings.Contains(out, `channeldns_rank_wire_frames_out_total{rank="0"}`) {
+		t.Error("wire series emitted for a rank that sent no wire dump")
+	}
+}
+
+func TestWorldHandlers(t *testing.T) {
+	tr := NewWorldTracker(2)
+	observe(t, tr, 0, 4, 4e8, 1)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "channeldns_world_size 2") {
+		t.Errorf("/metrics: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	StatusHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/status code %d", rec.Code)
+	}
+	var st WorldStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/status is not JSON: %v", err)
+	}
+	if st.World != 2 || !st.Ranks[0].Heard || st.Ranks[1].Heard {
+		t.Errorf("/status document %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 )
 
 // Chrome trace-event export: the flight recorder serialized to the JSON
@@ -28,13 +29,19 @@ type chromeEvent struct {
 	Dur  *float64         `json:"dur,omitempty"`
 	Pid  int              `json:"pid"`
 	Tid  int              `json:"tid"`
+	ID   string           `json:"id,omitempty"` // flow events ("s"/"t"/"f") only
+	BP   string           `json:"bp,omitempty"` // "e" on "f" binds to the enclosing slice
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
-// chromeFile is the containing JSON object.
+// chromeFile is the containing JSON object. OtherData carries file-level
+// metadata as decimal strings: rank/world identity and the clock
+// alignment of a distributed rank (see Trace.SetClockSync), which is what
+// makes per-rank files mergeable onto one timeline.
 type chromeFile struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
 // micros converts a nanosecond duration to the format's microsecond unit.
@@ -54,44 +61,51 @@ func chromeEvents(perRank [][]Event) []chromeEvent {
 			Args: map[string]int64{"rank": int64(rank)},
 		})
 		for _, ev := range evs {
-			ce := chromeEvent{
-				Ph:  "X",
-				Ts:  micros(int64(ev.Start)),
-				Pid: 0,
-				Tid: rank,
-				Cat: ev.Kind.String(),
-			}
-			dur := micros(int64(ev.Dur))
-			ce.Dur = &dur
-			args := map[string]int64{"step": ev.Step}
-			if ev.Stage >= 0 {
-				args["stage"] = int64(ev.Stage)
-			}
-			switch ev.Kind {
-			case KindPhase:
-				ce.Name = ev.Phase.String()
-			case KindExchange:
-				ce.Name = "exchange " + ev.Op.String()
-				args["bytes"] = ev.Bytes
-				if ev.Peer > 0 {
-					// Pipelined exchange window: the Peer word carries the
-					// pipeline depth (see Recorder.ExchangePipelined).
-					args["chunks"] = int64(ev.Peer)
-				}
-			case KindPeer:
-				ce.Name = "peer wait"
-				args["peer"] = int64(ev.Peer)
-				args["bytes"] = ev.Bytes
-			case KindStep:
-				ce.Name = "step"
-			default:
-				ce.Name = "unknown"
-			}
-			ce.Args = args
-			out = append(out, ce)
+			out = append(out, chromeEventOf(rank, ev))
 		}
 	}
 	return out
+}
+
+// chromeEventOf converts one decoded event to its trace-event object on
+// rank's track. The name scheme is the export contract ParseChrome
+// (merge.go) inverts: phase names, "exchange <dir>", "peer wait", "step".
+func chromeEventOf(rank int, ev Event) chromeEvent {
+	ce := chromeEvent{
+		Ph:  "X",
+		Ts:  micros(int64(ev.Start)),
+		Pid: 0,
+		Tid: rank,
+		Cat: ev.Kind.String(),
+	}
+	dur := micros(int64(ev.Dur))
+	ce.Dur = &dur
+	args := map[string]int64{"step": ev.Step}
+	if ev.Stage >= 0 {
+		args["stage"] = int64(ev.Stage)
+	}
+	switch ev.Kind {
+	case KindPhase:
+		ce.Name = ev.Phase.String()
+	case KindExchange:
+		ce.Name = "exchange " + ev.Op.String()
+		args["bytes"] = ev.Bytes
+		if ev.Peer > 0 {
+			// Pipelined exchange window: the Peer word carries the
+			// pipeline depth (see Recorder.ExchangePipelined).
+			args["chunks"] = int64(ev.Peer)
+		}
+	case KindPeer:
+		ce.Name = "peer wait"
+		args["peer"] = int64(ev.Peer)
+		args["bytes"] = ev.Bytes
+	case KindStep:
+		ce.Name = "step"
+	default:
+		ce.Name = "unknown"
+	}
+	ce.Args = args
+	return ce
 }
 
 // WriteChrome writes the current snapshot as Chrome trace-event JSON —
@@ -100,6 +114,7 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	f := chromeFile{
 		TraceEvents:     chromeEvents(t.Events()),
 		DisplayTimeUnit: "ms",
+		OtherData:       t.otherData(),
 	}
 	if f.TraceEvents == nil {
 		f.TraceEvents = []chromeEvent{}
@@ -111,6 +126,26 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// otherData assembles the file-level metadata: the trace epoch (wall
+// clock, so files from different processes share a reference), and when
+// the trace was stamped as part of a distributed world, its identity and
+// clock alignment. trace-merge reads these back (merge.go).
+func (t *Trace) otherData() map[string]string {
+	od := map[string]string{
+		"clock_epoch_unix_ns": strconv.FormatInt(t.epoch.UnixNano(), 10),
+	}
+	rank, world := t.Identity()
+	if world > 0 {
+		od["clock_rank"] = strconv.Itoa(rank)
+		od["clock_world"] = strconv.Itoa(world)
+	}
+	if off, errNs := t.ClockSync(); off != 0 || errNs != 0 {
+		od["clock_offset_ns"] = strconv.FormatInt(off, 10)
+		od["clock_error_ns"] = strconv.FormatInt(errNs, 10)
+	}
+	return od
 }
 
 // WriteChromeFile writes the Chrome trace to path, creating parent
@@ -145,23 +180,53 @@ func Handler(t *Trace) http.Handler {
 }
 
 // ValidateChrome checks a serialized Chrome trace the way the bench-smoke
-// CI target needs: it parses, carries at least one non-metadata event,
-// durations are non-negative, and timestamps are monotone non-decreasing
-// within each (pid, tid) track in file order. Returns the number of
-// non-metadata events.
+// and obs-smoke CI targets need: it parses, carries at least one
+// non-metadata event, durations are non-negative, and timestamps are
+// monotone non-decreasing within each (pid, tid) track in file order.
+// Flow events ("s"/"t"/"f", which trace-merge emits to link matched
+// transpose exchanges across ranks) must carry an id, participate in the
+// per-track monotone check, and be referentially intact: every id has
+// exactly one start, at least one finish, and no step/finish earlier than
+// its start. Returns the number of non-metadata events.
 func ValidateChrome(raw []byte) (int, error) {
 	var f chromeFile
 	if err := json.Unmarshal(raw, &f); err != nil {
 		return 0, fmt.Errorf("trace: parse: %w", err)
 	}
 	type track struct{ pid, tid int }
+	type flow struct {
+		starts, finishes int
+		startTs, minTs   float64
+	}
 	last := map[track]float64{}
+	flows := map[string]*flow{}
 	events := 0
 	for i, ev := range f.TraceEvents {
 		if ev.Ph == "M" {
 			continue
 		}
-		if ev.Ph != "X" {
+		switch ev.Ph {
+		case "X":
+		case "s", "t", "f":
+			if ev.ID == "" {
+				return 0, fmt.Errorf("trace: event %d (%s): flow event without id", i, ev.Name)
+			}
+			fl := flows[ev.ID]
+			if fl == nil {
+				fl = &flow{minTs: ev.Ts}
+				flows[ev.ID] = fl
+			}
+			switch ev.Ph {
+			case "s":
+				fl.starts++
+				fl.startTs = ev.Ts
+			case "f":
+				fl.finishes++
+			}
+			if ev.Ts < fl.minTs {
+				fl.minTs = ev.Ts
+			}
+		default:
 			return 0, fmt.Errorf("trace: event %d: unsupported phase type %q", i, ev.Ph)
 		}
 		if ev.Name == "" {
@@ -180,6 +245,17 @@ func ValidateChrome(raw []byte) (int, error) {
 	}
 	if events == 0 {
 		return 0, fmt.Errorf("trace: no events")
+	}
+	for id, fl := range flows {
+		if fl.starts != 1 {
+			return 0, fmt.Errorf("trace: flow %q has %d starts (want exactly 1)", id, fl.starts)
+		}
+		if fl.finishes == 0 {
+			return 0, fmt.Errorf("trace: flow %q never finishes", id)
+		}
+		if fl.minTs < fl.startTs {
+			return 0, fmt.Errorf("trace: flow %q has an event at %g before its start at %g", id, fl.minTs, fl.startTs)
+		}
 	}
 	return events, nil
 }

@@ -102,6 +102,17 @@ type Trace struct {
 	epoch    time.Time
 	capacity int
 
+	// Identity and clock alignment of a distributed run: which world rank
+	// this process is, the world size, and the estimated offset of this
+	// process's clock against rank 0's (mpi.SyncClocks). Exported into the
+	// Chrome file's otherData so cmd/trace-merge can place per-rank events
+	// on rank 0's timeline. All zero for in-process runs, whose ranks
+	// already share one epoch.
+	worldRank   atomic.Int64
+	worldSize   atomic.Int64
+	clockOffset atomic.Int64 // ns to add to local time for rank 0's timeline
+	clockError  atomic.Int64 // error bound, ns
+
 	mu   sync.Mutex
 	recs []*Recorder // index = rank; nil gaps until first use
 }
@@ -118,6 +129,32 @@ func New(capacity int) *Trace {
 
 // Epoch returns the shared time base of the trace's events.
 func (t *Trace) Epoch() time.Time { return t.epoch }
+
+// SetIdentity stamps the trace with its place in a distributed world:
+// this process's world rank and the world size. Exported file metadata;
+// safe to call any time before export.
+func (t *Trace) SetIdentity(rank, world int) {
+	t.worldRank.Store(int64(rank))
+	t.worldSize.Store(int64(world))
+}
+
+// Identity returns the stamped (rank, world); (0, 0) when never stamped.
+func (t *Trace) Identity() (rank, world int) {
+	return int(t.worldRank.Load()), int(t.worldSize.Load())
+}
+
+// SetClockSync stamps the estimated offset of this process's clock
+// against rank 0's, with its error bound, both in nanoseconds. Periodic
+// re-sync may overwrite it mid-run; the export carries the latest.
+func (t *Trace) SetClockSync(offsetNs, errorNs int64) {
+	t.clockOffset.Store(offsetNs)
+	t.clockError.Store(errorNs)
+}
+
+// ClockSync returns the stamped clock alignment (zeros when never set).
+func (t *Trace) ClockSync() (offsetNs, errorNs int64) {
+	return t.clockOffset.Load(), t.clockError.Load()
+}
 
 // Capacity returns the per-rank ring capacity in events.
 func (t *Trace) Capacity() int { return t.capacity }
