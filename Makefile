@@ -20,7 +20,7 @@ test:
 
 race:
 	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace channeldns/internal/ckpt
-	$(GO) test -race -run 'Overlap' channeldns/internal/core
+	$(GO) test -race -run 'Overlap|Workload|Registry|Isotropic|Scalar' channeldns/internal/core
 
 # Paper-table benchmarks with allocation reporting; see README
 # "Performance notes" for how to read the allocs/op columns.
@@ -45,7 +45,11 @@ bench-smoke:
 	$(GO) run ./cmd/bench-timestep -overlap -nx 16 -ny 17 -nz 16 -steps 2 -json .bench-smoke/BENCH_table9_overlap.json -trace .bench-smoke/table9_overlap.trace.json > /dev/null
 	$(GO) run ./cmd/dns -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -trace .bench-smoke/dns.trace.json -report .bench-smoke/BENCH_dns.json > /dev/null
 	$(GO) run ./cmd/dns -overlap -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -trace .bench-smoke/dns_overlap.trace.json -report .bench-smoke/BENCH_dns_overlap.json > /dev/null
+	$(GO) run ./cmd/dns -workload isotropic -nx 16 -ny 16 -nz 16 -steps 2 -pa 2 -pb 2 -report .bench-smoke/BENCH_dns_isotropic.json > /dev/null
+	$(GO) run ./cmd/dns -workload scalar -nx 16 -ny 17 -nz 16 -steps 2 -pa 2 -pb 2 -report .bench-smoke/BENCH_dns_scalar.json > /dev/null
 	$(GO) run ./cmd/bench-timestep -nx 16 -ny 17 -nz 16 -schedule > /dev/null
+	$(GO) run ./cmd/bench-timestep -workload isotropic -nx 16 -ny 16 -nz 16 -schedule > /dev/null
+	$(GO) run ./cmd/bench-timestep -workload scalar -nx 16 -ny 17 -nz 16 -schedule > /dev/null
 	$(GO) run ./cmd/bench-comm -schedule > /dev/null
 	$(GO) run ./cmd/bench-fft -schedule > /dev/null
 	$(GO) run ./cmd/bench-validate .bench-smoke/BENCH_*.json

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"channeldns/internal/core"
@@ -35,12 +36,18 @@ func main() {
 	nz := flag.Int("nz", 32, "grid Nz for the -json run")
 	steps := flag.Int("steps", 3, "timed steps for the -json run")
 	overlap := flag.Bool("overlap", false, "run the -json/-schedule steps with the pipelined transpose/FFT overlap (bit-identical; at 1 rank only the schedule and pricing change)")
+	workload := flag.String("workload", core.WorkloadChannel, "workload for the -json/-schedule runs: "+strings.Join(core.WorkloadNames(), " | "))
 	flag.Parse()
 	all := !*strong && !*weak && !*hybrid && !*configs && !*live && !*showSched && *jsonPath == ""
 
 	if *showSched {
-		cfg := core.Config{Nx: *nx, Ny: *ny, Nz: *nz, ReTau: 180, Dt: 1e-3, Overlap: *overlap}
-		cfg.Schedule().Write(os.Stdout)
+		cfg := core.Config{Workload: *workload, Nx: *nx, Ny: *ny, Nz: *nz, ReTau: 180, Dt: 1e-3, Overlap: *overlap}
+		sched, err := core.WorkloadSchedule(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sched.Write(os.Stdout)
 	}
 
 	if *configs || all {
@@ -59,7 +66,7 @@ func main() {
 		runLive()
 	}
 	if *jsonPath != "" {
-		if err := runReport(*jsonPath, *tracePath, *nx, *ny, *nz, *steps, *overlap); err != nil {
+		if err := runReport(*jsonPath, *tracePath, *workload, *nx, *ny, *nz, *steps, *overlap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -72,42 +79,46 @@ func main() {
 // so phase_seconds_sum tracks wall_seconds to within the repo's 10%
 // acceptance bound; allocs_per_step restates the process-wide steady-state
 // allocation count the core alloc budget bounds.
-func runReport(path, tracePath string, nx, ny, nz, steps int, overlap bool) error {
+func runReport(path, tracePath, workload string, nx, ny, nz, steps int, overlap bool) error {
 	reg := telemetry.NewRegistry()
-	cfg := core.Config{Nx: nx, Ny: ny, Nz: nz, ReTau: 180, Dt: 1e-3, Forcing: 1,
+	cfg := core.Config{Workload: workload, Nx: nx, Ny: ny, Nz: nz, ReTau: 180, Dt: 1e-3, Forcing: 1,
 		Telemetry: reg, Overlap: overlap}
 	var trc *trace.Trace
 	if tracePath != "" {
 		trc = trace.New(0)
 		cfg.Trace = trc
 	}
+	sched, err := core.WorkloadSchedule(cfg)
+	if err != nil {
+		return err
+	}
 	var allocsPerStep float64
 	var runErr error
 	mpi.Run(1, func(c *mpi.Comm) {
-		s, err := core.New(c, cfg)
+		wl, err := core.NewWorkload(c, cfg)
 		if err != nil {
 			runErr = err
 			return
 		}
-		s.SetLaminar()
-		s.Perturb(0.3, 2, 2, 1)
-		s.Advance(2) // warm the operator cache and workspace arena
-		reg.Reset()  // drop warmup samples
+		wl.InitDefault(0.3, 1)
+		wl.Advance(2) // warm the operator cache and workspace arena
+		reg.Reset()   // drop warmup samples
 		before := perf.ReadAllocs()
-		s.Advance(steps)
+		wl.Advance(steps)
 		allocsPerStep = float64(perf.ReadAllocs().Sub(before).Mallocs) / float64(steps)
 	})
 	if runErr != nil {
 		return runErr
 	}
 	rep := telemetry.NewReport("table9", reg, map[string]string{
-		"nx": fmt.Sprint(nx), "ny": fmt.Sprint(ny), "nz": fmt.Sprint(nz),
+		"workload": workload,
+		"nx":       fmt.Sprint(nx), "ny": fmt.Sprint(ny), "nz": fmt.Sprint(nz),
 		"re_tau": "180", "dt": "1e-3", "steps": fmt.Sprint(steps),
 		"pa": "1", "pb": "1", "threads": "1", "form": "divergence",
 		"overlap": fmt.Sprint(overlap),
 	})
 	rep.AllocsPerStep = allocsPerStep
-	rep.Schedule = cfg.Schedule()
+	rep.Schedule = sched
 	if trc != nil {
 		rep.Trace = trace.Summarize(trc)
 	}

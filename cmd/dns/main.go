@@ -1,10 +1,14 @@
-// Command dns runs a turbulent channel direct numerical simulation from the
-// command line: configure the grid, Reynolds number and process layout, run
-// time steps, and emit statistics profiles (the Figure 5/6 pipeline).
+// Command dns runs a direct numerical simulation from the command line:
+// pick a registered workload (turbulent channel flow by default, isotropic
+// turbulence, passive scalar), configure the grid, Reynolds number and
+// process layout, run time steps, and emit statistics profiles (the
+// Figure 5/6 pipeline, channel-based workloads only).
 //
-// Example:
+// Examples:
 //
 //	dns -nx 32 -ny 49 -nz 32 -retau 180 -dt 2e-3 -steps 200 -stats-every 20
+//	dns -workload isotropic -nx 32 -ny 32 -nz 32 -retau 100 -steps 50
+//	dns -workload scalar -prandtl 0.7 -nx 32 -ny 49 -nz 32 -steps 200
 //
 // By default all ranks run as goroutines in this process (-transport=chan).
 // With -transport=tcp the process is a single rank of a distributed world
@@ -20,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"sync/atomic"
 
 	"channeldns/internal/ckpt"
@@ -44,6 +49,9 @@ func main() {
 		threads = flag.Int("threads", 1, "worker threads per rank")
 		amp     = flag.Float64("perturb", 0.3, "initial perturbation amplitude")
 		seed    = flag.Int64("seed", 1, "perturbation seed")
+		wlName  = flag.String("workload", core.WorkloadChannel, "workload to run: "+strings.Join(core.WorkloadNames(), " | "))
+		lyF     = flag.Float64("ly", 0, "y extent of the isotropic workload's periodic box (0 = 2*pi)")
+		prandtl = flag.Float64("prandtl", 0, "Prandtl number of the scalar workload (0 = 1)")
 		every   = flag.Int("stats-every", 10, "accumulate statistics every N steps (0 = off)")
 		out     = flag.String("out", "", "write final averaged profiles to this file")
 		ckptDir = flag.String("ckpt-dir", "", "checkpoint store directory: sharded, atomically published restart snapshots (any rank count)")
@@ -82,8 +90,10 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Nx: *nx, Ny: *ny, Nz: *nz,
+		Workload: *wlName,
+		Nx:       *nx, Ny: *ny, Nz: *nz,
 		ReTau: *retau, Dt: *dt, Forcing: 1,
+		Ly: *lyF, Prandtl: *prandtl,
 		PA: *pa, PB: *pb, Pool: par.NewPool(*threads),
 		Overlap: *overlap, PipelineChunks: *chunks,
 	}
@@ -103,7 +113,8 @@ func main() {
 	var wireSum atomic.Pointer[telemetry.WireSummary]
 	buildReport := func() *telemetry.Report {
 		config := map[string]string{
-			"nx": fmt.Sprint(*nx), "ny": fmt.Sprint(*ny), "nz": fmt.Sprint(*nz),
+			"workload": *wlName,
+			"nx":       fmt.Sprint(*nx), "ny": fmt.Sprint(*ny), "nz": fmt.Sprint(*nz),
 			"re_tau": fmt.Sprint(*retau), "dt": fmt.Sprint(*dt),
 			"steps": fmt.Sprint(*steps), "pa": fmt.Sprint(*pa), "pb": fmt.Sprint(*pb),
 			"threads": fmt.Sprint(*threads), "form": *form,
@@ -121,8 +132,11 @@ func main() {
 		}
 		if *form == "divergence" {
 			// The schedule describes the default divergence-form pipeline;
-			// the other forms move different forward-path traffic.
-			rep.Schedule = cfg.Schedule()
+			// the other forms move different forward-path traffic. Every
+			// registered workload emits its own block.
+			if sched, err := core.WorkloadSchedule(cfg); err == nil {
+				rep.Schedule = sched
+			}
 		}
 		rep.Wire = wireSum.Load()
 		return rep
@@ -204,24 +218,32 @@ func main() {
 				trc.SetClockSync(cs.OffsetNs, cs.ErrorNs)
 			}
 		}
-		s, err := core.New(c, cfg)
+		wl, err := core.NewWorkload(c, cfg)
 		if err != nil {
 			if c.Rank() == 0 {
 				finalErr = err
 			}
 			return
 		}
+		// Channel-based workloads expose the underlying channel solver; the
+		// statistics pipeline (profiles, budget, spectra) runs on it. Other
+		// workloads report through their own StatusLine only.
+		var s *core.Solver
+		if cs, ok := wl.(core.ChannelFlow); ok {
+			s = cs.ChannelSolver()
+		}
 		var store *ckpt.Store
 		if *ckptDir != "" {
-			store = s.NewCheckpointStore(*ckptDir, *ckptKp)
+			store = wl.NewCheckpointStore(*ckptDir, *ckptKp)
 		}
 		resumed := false
 		if store != nil && *resume {
-			switch name, err := s.ResumeLatest(store); {
+			switch name, err := wl.ResumeLatest(store); {
 			case err == nil:
 				resumed = true
 				if c.Rank() == 0 {
-					fmt.Printf("resumed from %s (step %d, t=%.6g, dt=%.6g)\n", name, s.Step, s.Time, s.Cfg.Dt)
+					fmt.Printf("resumed from %s (step %d, t=%.6g, dt=%.6g)\n",
+						name, wl.CurrentStep(), wl.CurrentTime(), wl.CurrentDt())
 				}
 			case errors.Is(err, ckpt.ErrNoCheckpoint):
 				if c.Rank() == 0 {
@@ -235,43 +257,38 @@ func main() {
 			}
 		}
 		if !resumed {
-			s.SetLaminar()
-			s.Perturb(*amp, 2, 2, *seed)
+			wl.InitDefault(*amp, *seed)
 		}
 		lastCkpt := -1
 		writeCkpt := func() bool {
-			if s.Step == lastCkpt {
+			if wl.CurrentStep() == lastCkpt {
 				return true
 			}
-			name, err := s.WriteCheckpoint(store)
+			name, err := wl.WriteCheckpoint(store)
 			if err != nil {
 				if c.Rank() == 0 {
 					finalErr = fmt.Errorf("checkpoint: %w", err)
 				}
 				return false
 			}
-			lastCkpt = s.Step
+			lastCkpt = wl.CurrentStep()
 			if c.Rank() == 0 {
-				fmt.Printf("checkpoint %s written (step %d)\n", name, s.Step)
+				fmt.Printf("checkpoint %s written (step %d)\n", name, wl.CurrentStep())
 			}
 			return true
 		}
 
 		acc := &stats.Accumulator{}
 		report := func() {
-			// All quantities are collectives: every rank must call them.
-			e := s.TotalEnergy()
-			ut := s.FrictionVelocity()
-			ub := s.BulkVelocity()
-			bc := s.BCResidual()
+			// StatusLine is a collective: every rank must call it.
+			line := wl.StatusLine()
 			if c.Rank() == 0 {
-				fmt.Printf("step %6d  t=%8.4f  E=%10.6f  u_tau=%6.4f  Ub=%8.4f  BCres=%.2e\n",
-					s.Step, s.Time, e, ut, ub, bc)
+				fmt.Println(line)
 			}
 		}
 		report()
 		for i := 1; i <= *steps; i++ {
-			s.AdvanceAdaptive(1, 0.8, 5)
+			wl.AdvanceAdaptive(1, 0.8, 5)
 			if *hbEvery > 0 && i%*hbEvery == 0 {
 				heartbeat()
 			}
@@ -279,27 +296,31 @@ func main() {
 				return
 			}
 			if *every > 0 && i%*every == 0 {
-				acc.Add(stats.Snapshot(s))
+				if s != nil {
+					acc.Add(stats.Snapshot(s))
+				}
 				report()
 			}
 		}
 		if store != nil && !writeCkpt() {
 			return
 		}
-		if acc.Count() == 0 {
-			acc.Add(stats.Snapshot(s))
-		}
 		var bud stats.Budget
-		if *budget {
-			bud = stats.TKEBudget(s)
-		}
 		var spx, spz stats.Spectra1D
-		if *spectra {
-			stations := []int{*ny / 8, *ny / 4, *ny / 2}
-			spx = stats.SpectraX(s, stations)
-			spz = stats.SpectraZ(s, stations)
+		if s != nil {
+			if acc.Count() == 0 {
+				acc.Add(stats.Snapshot(s))
+			}
+			if *budget {
+				bud = stats.TKEBudget(s)
+			}
+			if *spectra {
+				stations := []int{*ny / 8, *ny / 4, *ny / 2}
+				spx = stats.SpectraX(s, stations)
+				spz = stats.SpectraZ(s, stations)
+			}
 		}
-		if c.Rank() == 0 {
+		if s != nil && c.Rank() == 0 {
 			p := acc.Mean()
 			fmt.Printf("\nAveraged profiles over %d snapshots:\n", acc.Count())
 			if err := p.Write(os.Stdout); err != nil {

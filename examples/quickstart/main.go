@@ -1,5 +1,8 @@
-// Quickstart: the smallest complete channel DNS — build a solver, set an
-// initial condition, advance it, and look at the flow.
+// Quickstart: the smallest complete channel DNS — build the channel
+// workload through the registry, set an initial condition, advance it, and
+// look at the flow. Swap Workload for core.WorkloadIsotropic or
+// core.WorkloadScalar to run the other registered scenarios on the same
+// substrate.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,8 +20,9 @@ func main() {
 	// Every run happens inside the message-passing runtime, even a serial
 	// one: mpi.Run starts the ranks and hands each its communicator.
 	mpi.Run(1, func(comm *mpi.Comm) {
-		solver, err := core.New(comm, core.Config{
-			Nx: 16, Ny: 25, Nz: 16, // Fourier x B-spline x Fourier resolution
+		wl, err := core.NewWorkload(comm, core.Config{
+			Workload: core.WorkloadChannel, // "" also selects the channel
+			Nx:       16, Ny: 25, Nz: 16, // Fourier x B-spline x Fourier resolution
 			ReTau:   180,  // friction Reynolds number (nu = 1/ReTau)
 			Dt:      1e-3, // time step
 			Forcing: 1,    // mean pressure gradient, wall units
@@ -28,10 +32,14 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// Start from the laminar parabola plus small wall-compatible
+		// Start from the workload's canonical initial condition: for the
+		// channel, the laminar parabola plus small wall-compatible
 		// disturbances in the lowest Fourier modes.
-		solver.SetLaminar()
-		solver.Perturb(0.3, 2, 2, 42)
+		wl.InitDefault(0.3, 42)
+
+		// Channel-specific diagnostics (profiles, friction velocity) live on
+		// the solver behind the ChannelFlow marker interface.
+		solver := wl.(core.ChannelFlow).ChannelSolver()
 
 		fmt.Printf("grid: %d x %d x %d (%.0f DOF for 3 velocity components)\n",
 			solver.Cfg.Nx, solver.Cfg.Ny, solver.Cfg.Nz, float64(solver.G.DOF()*3))
@@ -41,7 +49,7 @@ func main() {
 		// Advance 50 steps (each is three IMEX Runge-Kutta substeps with
 		// the full dealiased nonlinear transform pipeline).
 		for block := 0; block < 5; block++ {
-			solver.Advance(10)
+			wl.Advance(10)
 			fmt.Printf("t=%5.3f  energy=%8.3f  u_tau=%.3f\n",
 				solver.Time, solver.TotalEnergy(), solver.FrictionVelocity())
 		}

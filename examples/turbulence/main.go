@@ -32,14 +32,15 @@ func main() {
 		// Wall-normal resolution matters: the pointwise products of the
 		// collocation method alias in y when Ny is too small for the
 		// transition transient, so use a generous basis.
-		s, err := core.New(comm, core.Config{
-			Nx: 32, Ny: 65, Nz: 32,
+		wl, err := core.NewWorkload(comm, core.Config{
+			Nx: 32, Ny: 65, Nz: 32, // empty Workload selects "channel"
 			ReTau: 180, Dt: 5e-4, Forcing: 1,
 			PA: 2, PB: 2, Pool: par.NewPool(2),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		s := wl.(core.ChannelFlow).ChannelSolver()
 		s.SetLaminar()
 		s.Perturb(0.3, 3, 3, 2024)
 

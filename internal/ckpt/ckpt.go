@@ -54,6 +54,11 @@ var ErrNoCheckpoint = errors.New("ckpt: no valid checkpoint")
 // directions — writes read from them, restores copy INTO them — so the
 // solver's workspace-arena-backed buffers survive a restore.
 type State struct {
+	// Workload names the registered scenario (core.WorkloadNames) that
+	// produced this state. Checkpoints restore only into the same
+	// workload; a mismatch is a structural error, not a fallback case.
+	Workload string
+
 	// Global grid extents and the one-sided x mode count.
 	Nx, Ny, Nz int
 	NKx        int
@@ -81,6 +86,15 @@ type State struct {
 	// Mean-flow profiles, present only on the (0,0)-owning rank.
 	HasMean                              bool
 	MeanU, MeanW, MeanHxPrev, MeanHzPrev []float64
+
+	// Workload-specific additions beyond the four channel fields: Extra
+	// holds further complex spectral fields shaped exactly like CV (the
+	// passive scalar stores its coefficients and previous-substep term
+	// here); ExtraMean holds further mean profiles and may be non-empty
+	// only when HasMean. Both empty reproduces the original v1 shard
+	// bytes exactly.
+	Extra     [][][]complex128
+	ExtraMean [][]float64
 }
 
 // NW returns the local mode count of the window.
@@ -99,7 +113,8 @@ func (st *State) validate() error {
 			st.Kxlo, st.Kxhi, st.Kzlo, st.Kzhi, st.NKx, st.Nz)
 	}
 	nw := st.NW()
-	for _, f := range [][][]complex128{st.CV, st.CW, st.HgPrev, st.HvPrev} {
+	fields := append([][][]complex128{st.CV, st.CW, st.HgPrev, st.HvPrev}, st.Extra...)
+	for _, f := range fields {
 		if len(f) != nw {
 			return fmt.Errorf("ckpt: field carries %d modes, window owns %d", len(f), nw)
 		}
@@ -109,8 +124,12 @@ func (st *State) validate() error {
 			}
 		}
 	}
+	if !st.HasMean && len(st.ExtraMean) > 0 {
+		return fmt.Errorf("ckpt: %d extra mean profiles on a rank without the mean block", len(st.ExtraMean))
+	}
 	if st.HasMean {
-		for _, m := range [][]float64{st.MeanU, st.MeanW, st.MeanHxPrev, st.MeanHzPrev} {
+		means := append([][]float64{st.MeanU, st.MeanW, st.MeanHxPrev, st.MeanHzPrev}, st.ExtraMean...)
+		for _, m := range means {
 			if len(m) != st.Ny {
 				return fmt.Errorf("ckpt: mean profile length %d, want Ny=%d", len(m), st.Ny)
 			}

@@ -19,21 +19,36 @@ import (
 //	36      4     kxlo            40  4  kxhi      44  4  kzlo   48  4  kzhi
 //	52      8     step (u64)
 //	60      8     time (f64)      68  8  dt (f64)
-//	76      4     flags (u32; bit 0 = mean block present)
+//	76      4     flags (u32; bit 0 = mean block present, bit 1 = extended)
 //	80      -     payload: 4 complex fields (cv, cw, hgPrev, hvPrev), each
 //	              nw mode lines of ny complex128 (re, im as f64), followed
 //	              by the mean block when flagged: 4 real profiles (meanU,
 //	              meanW, meanHxPrev, meanHzPrev) of ny f64 each
 //	end-4   4     CRC32C (Castagnoli) over every preceding byte
 //
+// When the extended flag (bit 1) is set — the shard carries workload-
+// specific fields beyond the channel's four — the header grows by two
+// counters and the payload shifts accordingly:
+//
+//	80      4     nExtra (u32): extra complex fields after hvPrev
+//	84      4     nExtraMean (u32): extra mean profiles after meanHzPrev
+//	88      -     payload as above, with 4+nExtra complex fields and, when
+//	              the mean flag is set, 4+nExtraMean mean profiles
+//
+// A state without extras encodes byte-identically to the original v1
+// layout (the extended flag stays clear), so channel checkpoints written
+// before and after the extension are interchangeable.
+//
 // The header is self-describing: a reader can locate any (field, ikx, ikz)
 // line from the header alone, which is what the re-sharded resume path
 // relies on to read exactly the overlapping slices of a shard.
 
 const (
-	shardMagic  = "CDNSCKPT"
-	headerSize  = 80
-	flagHasMean = 1 << 0
+	shardMagic    = "CDNSCKPT"
+	headerSize    = 80
+	extHeaderSize = 88
+	flagHasMean   = 1 << 0
+	flagExtended  = 1 << 1
 )
 
 // castagnoli is the CRC32C table (the polynomial storage hardware
@@ -45,10 +60,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 const nComplexFields = 4
 
 // shardSize returns the on-disk size of a shard with the given shape.
-func shardSize(nw, ny int, hasMean bool) int64 {
-	n := int64(headerSize) + int64(nComplexFields)*int64(nw)*int64(ny)*16
+func shardSize(nw, ny int, hasMean bool, nExtra, nExtraMean int) int64 {
+	n := int64(headerSize)
+	if nExtra > 0 || nExtraMean > 0 {
+		n = extHeaderSize
+	}
+	n += int64(nComplexFields+nExtra) * int64(nw) * int64(ny) * 16
 	if hasMean {
-		n += 4 * int64(ny) * 8
+		n += int64(4+nExtraMean) * int64(ny) * 8
 	}
 	return n + 4 // CRC trailer
 }
@@ -61,7 +80,8 @@ func EncodeShard(w io.Writer, st *State) (int64, uint32, error) {
 		return 0, 0, err
 	}
 	nw, ny := st.NW(), st.Ny
-	b := make([]byte, shardSize(nw, ny, st.HasMean))
+	nExtra, nExtraMean := len(st.Extra), len(st.ExtraMean)
+	b := make([]byte, shardSize(nw, ny, st.HasMean, nExtra, nExtraMean))
 	copy(b[0:8], shardMagic)
 	le := binary.LittleEndian
 	le.PutUint32(b[8:], FormatVersion)
@@ -81,17 +101,23 @@ func EncodeShard(w io.Writer, st *State) (int64, uint32, error) {
 	if st.HasMean {
 		flags |= flagHasMean
 	}
+	off := int64(headerSize)
+	if nExtra > 0 || nExtraMean > 0 {
+		flags |= flagExtended
+		le.PutUint32(b[80:], uint32(nExtra))
+		le.PutUint32(b[84:], uint32(nExtraMean))
+		off = extHeaderSize
+	}
 	le.PutUint32(b[76:], flags)
 
-	off := int64(headerSize)
-	for _, f := range [][][]complex128{st.CV, st.CW, st.HgPrev, st.HvPrev} {
+	for _, f := range append([][][]complex128{st.CV, st.CW, st.HgPrev, st.HvPrev}, st.Extra...) {
 		for _, line := range f {
 			putComplexLine(b[off:], line)
 			off += int64(ny) * 16
 		}
 	}
 	if st.HasMean {
-		for _, m := range [][]float64{st.MeanU, st.MeanW, st.MeanHxPrev, st.MeanHzPrev} {
+		for _, m := range append([][]float64{st.MeanU, st.MeanW, st.MeanHxPrev, st.MeanHzPrev}, st.ExtraMean...) {
 			putRealLine(b[off:], m)
 			off += int64(ny) * 8
 		}
@@ -141,9 +167,19 @@ type shardHeader struct {
 	Step                   int64
 	Time, Dt               float64
 	HasMean                bool
+	Extended               bool
+	NExtra, NExtraMean     int
 }
 
 func (h *shardHeader) nw() int { return (h.Kxhi - h.Kxlo) * (h.Kzhi - h.Kzlo) }
+
+// headerLen returns the on-disk header length this shard was written with.
+func (h *shardHeader) headerLen() int64 {
+	if h.Extended {
+		return extHeaderSize
+	}
+	return headerSize
+}
 
 // parseShard validates magic, version, size and the CRC32C trailer of a
 // complete in-memory shard image and returns its header. Every corruption
@@ -173,12 +209,24 @@ func parseShard(b []byte) (shardHeader, error) {
 	h.Step = int64(le.Uint64(b[52:]))
 	h.Time = math.Float64frombits(le.Uint64(b[60:]))
 	h.Dt = math.Float64frombits(le.Uint64(b[68:]))
-	h.HasMean = le.Uint32(b[76:])&flagHasMean != 0
+	flags := le.Uint32(b[76:])
+	h.HasMean = flags&flagHasMean != 0
+	h.Extended = flags&flagExtended != 0
+	if h.Extended {
+		if len(b) < extHeaderSize+4 {
+			return h, fmt.Errorf("ckpt: extended shard truncated to %d bytes (header is %d)", len(b), extHeaderSize)
+		}
+		h.NExtra = int(le.Uint32(b[80:]))
+		h.NExtraMean = int(le.Uint32(b[84:]))
+		if h.NExtra > 1024 || h.NExtraMean > 1024 {
+			return h, fmt.Errorf("ckpt: shard header claims %d extra fields, %d extra means", h.NExtra, h.NExtraMean)
+		}
+	}
 	if h.Ny <= 0 || h.nw() < 0 || h.Kxlo > h.Kxhi || h.Kzlo > h.Kzhi {
 		return h, fmt.Errorf("ckpt: shard header carries degenerate window kx[%d,%d) kz[%d,%d)",
 			h.Kxlo, h.Kxhi, h.Kzlo, h.Kzhi)
 	}
-	if want := shardSize(h.nw(), h.Ny, h.HasMean); int64(len(b)) != want {
+	if want := shardSize(h.nw(), h.Ny, h.HasMean, h.NExtra, h.NExtraMean); int64(len(b)) != want || h.Extended != (h.NExtra > 0 || h.NExtraMean > 0) {
 		return h, fmt.Errorf("ckpt: shard is %d bytes, header implies %d", len(b), want)
 	}
 	if got, want := crc32.Checksum(b[:len(b)-4], castagnoli), le.Uint32(b[len(b)-4:]); got != want {
@@ -199,10 +247,10 @@ func copyOverlap(b []byte, h shardHeader, dst *State) int {
 	ny := h.Ny
 	srcNkz := h.Kzhi - h.Kzlo
 	dstNkz := dst.Kzhi - dst.Kzlo
-	fields := [][][]complex128{dst.CV, dst.CW, dst.HgPrev, dst.HvPrev}
+	fields := append([][][]complex128{dst.CV, dst.CW, dst.HgPrev, dst.HvPrev}, dst.Extra...)
 	lines := 0
 	for f := range fields {
-		fieldOff := int64(headerSize) + int64(f)*int64(h.nw())*int64(ny)*16
+		fieldOff := h.headerLen() + int64(f)*int64(h.nw())*int64(ny)*16
 		for ikx := kxlo; ikx < kxhi; ikx++ {
 			for ikz := kzlo; ikz < kzhi; ikz++ {
 				srcW := (ikx-h.Kxlo)*srcNkz + (ikz - h.Kzlo)
@@ -216,8 +264,8 @@ func copyOverlap(b []byte, h shardHeader, dst *State) int {
 		}
 	}
 	if h.HasMean && dst.HasMean {
-		off := int64(headerSize) + int64(nComplexFields)*int64(h.nw())*int64(ny)*16
-		for _, m := range [][]float64{dst.MeanU, dst.MeanW, dst.MeanHxPrev, dst.MeanHzPrev} {
+		off := h.headerLen() + int64(nComplexFields+h.NExtra)*int64(h.nw())*int64(ny)*16
+		for _, m := range append([][]float64{dst.MeanU, dst.MeanW, dst.MeanHxPrev, dst.MeanHzPrev}, dst.ExtraMean...) {
 			getRealLine(b[off:], m)
 			off += int64(ny) * 8
 		}
@@ -256,6 +304,10 @@ func DecodeShard(r io.Reader, dst *State) error {
 	if h.HasMean != dst.HasMean {
 		return fmt.Errorf("ckpt: shard mean-profile presence (%v) does not match rank (%v)",
 			h.HasMean, dst.HasMean)
+	}
+	if h.NExtra != len(dst.Extra) || (dst.HasMean && h.NExtraMean != len(dst.ExtraMean)) {
+		return fmt.Errorf("ckpt: shard carries %d extra fields / %d extra means, solver expects %d / %d",
+			h.NExtra, h.NExtraMean, len(dst.Extra), len(dst.ExtraMean))
 	}
 	copyOverlap(b, h, dst)
 	dst.Step, dst.Time, dst.Dt = h.Step, h.Time, h.Dt

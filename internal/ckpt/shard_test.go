@@ -111,7 +111,7 @@ func TestShardRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	if want := shardSize(src.NW(), src.Ny, true); n != want {
+	if want := shardSize(src.NW(), src.Ny, true, 0, 0); n != want {
 		t.Fatalf("encoded %d bytes, want %d", n, want)
 	}
 	if crc == 0 {
@@ -270,6 +270,13 @@ func TestManifestValidate(t *testing.T) {
 	if err := mk().Validate(); err != nil {
 		t.Fatalf("valid manifest rejected: %v", err)
 	}
+	// Zero mean shards is legal: workloads without mean profiles
+	// (isotropic turbulence) write none.
+	noMean := mk()
+	noMean.Shards[0].HasMean = false
+	if err := noMean.Validate(); err != nil {
+		t.Fatalf("mean-free manifest rejected: %v", err)
+	}
 	cases := []struct {
 		name   string
 		mutate func(*Manifest)
@@ -278,7 +285,6 @@ func TestManifestValidate(t *testing.T) {
 		{"rank count mismatch", func(m *Manifest) { m.Ranks = 3 }},
 		{"gap in coverage", func(m *Manifest) { m.Shards[1].Kxlo = 5 }},
 		{"overlapping windows", func(m *Manifest) { m.Shards[1].Kxlo = 3 }},
-		{"no mean shard", func(m *Manifest) { m.Shards[0].HasMean = false }},
 		{"two mean shards", func(m *Manifest) { m.Shards[1].HasMean = true }},
 		{"escaping file name", func(m *Manifest) { m.Shards[0].File = "../evil" }},
 		{"window outside grid", func(m *Manifest) { m.Shards[1].Kxhi = 9 }},
@@ -295,18 +301,23 @@ func TestManifestValidate(t *testing.T) {
 }
 
 func TestShardSizeFormula(t *testing.T) {
-	// Keep the documented layout honest: header + fields + mean + CRC.
+	// Keep the documented layout honest: header + fields + mean + CRC,
+	// with the 88-byte extended header only when extras are present.
 	for _, tc := range []struct {
-		nw, ny  int
-		hasMean bool
-		want    int64
+		nw, ny             int
+		hasMean            bool
+		nExtra, nExtraMean int
+		want               int64
 	}{
-		{1, 1, false, 80 + 4*16 + 4},
-		{1, 1, true, 80 + 4*16 + 4*8 + 4},
-		{6, 5, true, 80 + 4*6*5*16 + 4*5*8 + 4},
+		{1, 1, false, 0, 0, 80 + 4*16 + 4},
+		{1, 1, true, 0, 0, 80 + 4*16 + 4*8 + 4},
+		{6, 5, true, 0, 0, 80 + 4*6*5*16 + 4*5*8 + 4},
+		{1, 1, false, 2, 0, 88 + 6*16 + 4},
+		{6, 5, true, 2, 2, 88 + 6*6*5*16 + 6*5*8 + 4},
 	} {
-		if got := shardSize(tc.nw, tc.ny, tc.hasMean); got != tc.want {
-			t.Errorf("shardSize(%d,%d,%v) = %d, want %d", tc.nw, tc.ny, tc.hasMean, got, tc.want)
+		if got := shardSize(tc.nw, tc.ny, tc.hasMean, tc.nExtra, tc.nExtraMean); got != tc.want {
+			t.Errorf("shardSize(%d,%d,%v,%d,%d) = %d, want %d",
+				tc.nw, tc.ny, tc.hasMean, tc.nExtra, tc.nExtraMean, got, tc.want)
 		}
 	}
 }

@@ -240,6 +240,7 @@ func (s *Store) publish(dir string, st *State, metas []shardMeta, plan *writePla
 	man := &Manifest{
 		Format:      FormatVersion,
 		Fingerprint: fingerprintString(st.Fingerprint),
+		Workload:    st.Workload,
 		Nx:          st.Nx, Ny: st.Ny, Nz: st.Nz, NKx: st.NKx,
 		Step: st.Step, Time: st.Time, Dt: st.Dt,
 		Ranks: len(metas),
@@ -396,10 +397,11 @@ func (s *Store) Latest() (string, *Manifest, error) {
 }
 
 // matches reports whether a manifest belongs to the configuration dst
-// describes (fingerprint + grid identity; the process grid is free to
-// differ — that is the point of re-sharded resume).
+// describes (workload + fingerprint + grid identity; the process grid is
+// free to differ — that is the point of re-sharded resume).
 func (m *Manifest) matches(dst *State) bool {
-	return m.Fingerprint == fingerprintString(dst.Fingerprint) &&
+	return m.Workload == dst.Workload &&
+		m.Fingerprint == fingerprintString(dst.Fingerprint) &&
 		m.Nx == dst.Nx && m.Ny == dst.Ny && m.Nz == dst.Nz && m.NKx == dst.NKx
 }
 
@@ -435,6 +437,10 @@ func (s *Store) restoreLocal(name string, dst *State) error {
 	if err != nil {
 		return err
 	}
+	if m.Workload != dst.Workload {
+		return fmt.Errorf("ckpt: checkpoint %s belongs to workload %q, not %q",
+			name, m.Workload, dst.Workload)
+	}
 	if !m.matches(dst) {
 		return fmt.Errorf("ckpt: checkpoint %s belongs to configuration %s grid %dx%dx%d, not ours",
 			name, m.Fingerprint, m.Nx, m.Ny, m.Nz)
@@ -457,6 +463,10 @@ func (s *Store) restoreLocal(name string, dst *State) error {
 		if h.Ny != dst.Ny {
 			return fmt.Errorf("ckpt: shard %s: Ny %d, want %d", sh.File, h.Ny, dst.Ny)
 		}
+		if h.NExtra != len(dst.Extra) || (wantMean && h.NExtraMean != len(dst.ExtraMean)) {
+			return fmt.Errorf("ckpt: shard %s: carries %d extra fields / %d extra means, solver expects %d / %d",
+				sh.File, h.NExtra, h.NExtraMean, len(dst.Extra), len(dst.ExtraMean))
+		}
 		copyOverlap(b, h, dst)
 	}
 	dst.Step, dst.Time, dst.Dt = m.Step, m.Time, m.Dt
@@ -472,12 +482,19 @@ func (s *Store) restoreLocal(name string, dst *State) error {
 func (s *Store) Resume(c *mpi.Comm, dst *State) (string, error) {
 	tried := map[string]bool{}
 	for {
-		var name string
+		pair := []string{"", ""}
 		if c.Rank() == 0 {
-			name = s.nextValid(tried, dst)
+			pair[0], pair[1] = s.nextValid(tried, dst)
 		}
-		name = mpi.Bcast(c, 0, []string{name})[0]
+		pair = mpi.Bcast(c, 0, pair)
+		name, mismatch := pair[0], pair[1]
 		if name == "" {
+			if mismatch != "" {
+				// A healthy checkpoint exists but belongs to another
+				// workload: that is a configuration error the caller must
+				// see, not an empty store to silently start fresh from.
+				return "", fmt.Errorf("ckpt: %s", mismatch)
+			}
 			return "", ErrNoCheckpoint
 		}
 		if err := s.Restore(c, name, dst); err == nil {
@@ -488,21 +505,32 @@ func (s *Store) Resume(c *mpi.Comm, dst *State) (string, error) {
 }
 
 // nextValid returns the newest untried checkpoint that passes Verify and
-// belongs to dst's configuration, or "".
-func (s *Store) nextValid(tried map[string]bool, dst *State) string {
+// belongs to dst's configuration, or "". The second return is a
+// description of the newest valid checkpoint rejected purely for a
+// workload mismatch, when no matching checkpoint exists at all.
+func (s *Store) nextValid(tried map[string]bool, dst *State) (string, string) {
 	names, err := s.Checkpoints()
 	if err != nil {
-		return ""
+		return "", ""
 	}
+	mismatch := ""
 	for _, name := range names {
 		if tried[name] {
 			continue
 		}
 		m, err := s.Verify(name)
-		if err != nil || !m.matches(dst) {
+		if err != nil {
 			continue
 		}
-		return name
+		if !m.matches(dst) {
+			if mismatch == "" && m.Workload != dst.Workload &&
+				m.Nx == dst.Nx && m.Ny == dst.Ny && m.Nz == dst.Nz {
+				mismatch = fmt.Sprintf("checkpoint %s belongs to workload %q, not %q",
+					name, m.Workload, dst.Workload)
+			}
+			continue
+		}
+		return name, ""
 	}
-	return ""
+	return "", mismatch
 }

@@ -41,11 +41,14 @@ func (c Config) Fingerprint() uint64 {
 			u(0)
 		}
 	}
+	h.Write([]byte(c.Workload))
 	u(uint64(c.Nx))
 	u(uint64(c.Ny))
 	u(uint64(c.Nz))
 	f(c.Lx)
 	f(c.Lz)
+	f(c.Ly)
+	f(c.Prandtl)
 	f(c.ReTau)
 	u(uint64(c.Degree))
 	f(c.Stretch)
@@ -63,7 +66,8 @@ func (c Config) Fingerprint() uint64 {
 // steady-state allocation discipline survives a restore).
 func (s *Solver) CheckpointState() *ckpt.State {
 	return &ckpt.State{
-		Nx: s.Cfg.Nx, Ny: s.Cfg.Ny, Nz: s.Cfg.Nz, NKx: s.G.NKx(),
+		Workload: s.Cfg.Workload,
+		Nx:       s.Cfg.Nx, Ny: s.Cfg.Ny, Nz: s.Cfg.Nz, NKx: s.G.NKx(),
 		Kxlo: s.kxlo, Kxhi: s.kxhi, Kzlo: s.kzlo, Kzhi: s.kzhi,
 		Step: int64(s.Step), Time: s.Time, Dt: s.Cfg.Dt,
 		Fingerprint: s.Cfg.Fingerprint(),

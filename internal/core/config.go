@@ -18,13 +18,24 @@ import (
 	"channeldns/internal/trace"
 )
 
-// Config selects the resolution, physics and parallel layout of a Solver.
+// Config selects the workload, resolution, physics and parallel layout of
+// a solver built through the workload registry (see workload.go).
 type Config struct {
+	// Workload selects the registered simulation scenario: "channel" (the
+	// default), "isotropic", "scalar", or any name added through
+	// RegisterWorkload. NewWorkload dispatches on it; the direct
+	// constructors (New, NewIsotropic, NewScalar) ignore it beyond
+	// stamping it into checkpoints and reports.
+	Workload string
 	// Spectral resolution: Nx, Nz full Fourier modes (even), Ny B-spline
-	// basis functions (= wall-normal collocation points).
+	// basis functions (= wall-normal collocation points). The isotropic
+	// workload reads Ny as its Fourier mode count in y instead.
 	Nx, Ny, Nz int
 	// Domain lengths of the periodic directions (half-width units).
 	Lx, Lz float64
+	// Ly is the y extent of the triply-periodic isotropic workload
+	// (0 selects 2*pi). The channel workloads fix y to [-1, 1].
+	Ly float64
 	// Friction Reynolds number; nu = 1/ReTau.
 	ReTau float64
 	// Time step.
@@ -71,6 +82,9 @@ type Config struct {
 	// PipelineChunks overrides the overlapped exchange's pipeline depth
 	// (0 = the default 4; clamped per direction to the chunk-axis extent).
 	PipelineChunks int
+	// Prandtl is the Prandtl number nu/kappa of the passive-scalar
+	// workload (0 selects 1). Ignored by the other workloads.
+	Prandtl float64
 	// UseGeneralSolver replaces the customized compact banded solver in the
 	// time advance with the general pivoted banded solver (complex right-
 	// hand sides via two sequential real solves) — the configuration the
@@ -80,6 +94,9 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() {
+	if c.Workload == "" {
+		c.Workload = WorkloadChannel
+	}
 	if c.Degree == 0 {
 		c.Degree = 7
 	}
@@ -97,6 +114,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Lz == 0 {
 		c.Lz = 3.141592653589793
+	}
+	if c.Ly == 0 {
+		c.Ly = 2 * 3.141592653589793
+	}
+	if c.Prandtl == 0 {
+		c.Prandtl = 1
 	}
 }
 

@@ -30,3 +30,32 @@ func (c Config) Schedule() *schedule.Schedule {
 		ChunksA:    ca, ChunksB: cb,
 	})
 }
+
+// IsotropicSchedule returns the declarative op list of one RK3 timestep of
+// the isotropic-turbulence workload: the channel's transpose/FFT pipeline
+// bracketed by y-direction FFTs, with a diagonal per-mode projection +
+// advance in place of the banded wall-normal solve. The workload runs the
+// serial exchange only (no overlap form).
+func (c Config) IsotropicSchedule() *schedule.Schedule {
+	c.fillDefaults()
+	return schedule.IsotropicTimestep(schedule.TimestepParams{
+		Nx: c.Nx, Ny: c.Ny, Nz: c.Nz,
+		PA: c.PA, PB: c.PB,
+		Products:   nProducts,
+		PackPasses: 4,
+	})
+}
+
+// ScalarSchedule returns the declarative op list of one RK3 timestep of
+// the passive-scalar workload: the full channel timestep plus the scalar
+// advection excursion (4 fields out, 3 flux products back) and the scalar's
+// banded implicit solve per substep. Serial exchange only.
+func (c Config) ScalarSchedule() *schedule.Schedule {
+	c.fillDefaults()
+	return schedule.ScalarTimestep(schedule.TimestepParams{
+		Nx: c.Nx, Ny: c.Ny, Nz: c.Nz,
+		PA: c.PA, PB: c.PB,
+		Products:   nProducts,
+		PackPasses: 4,
+	})
+}

@@ -1,0 +1,195 @@
+// Workload registry: the channel solver is one simulation scenario of
+// many sharing the pencil/FFT substrate. A Workload bundles everything a
+// driver needs — construction, default initial conditions, time advance,
+// a status line, checkpointing, and a declarative schedule block — so
+// cmd/dns, the bench tools, telemetry validation and machine-model
+// pricing work identically for every registered entry.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"channeldns/internal/ckpt"
+	"channeldns/internal/mpi"
+	"channeldns/internal/schedule"
+)
+
+// Names of the built-in workloads.
+const (
+	WorkloadChannel   = "channel"
+	WorkloadIsotropic = "isotropic"
+	WorkloadScalar    = "scalar"
+)
+
+// Workload is a running simulation scenario. All methods that touch
+// distributed state (advance, status, checkpointing) are collective: every
+// rank of the workload's world must call them together.
+type Workload interface {
+	// WorkloadName returns the registered name ("channel", ...).
+	WorkloadName() string
+	// World returns the communicator the workload runs on.
+	World() *mpi.Comm
+	// CurrentStep, CurrentTime and CurrentDt expose the time-advance
+	// state (CurrentDt tracks adaptive stepping).
+	CurrentStep() int
+	CurrentTime() float64
+	CurrentDt() float64
+	// InitDefault seeds the workload's canonical initial condition: the
+	// base state plus a deterministic divergence-free perturbation of
+	// amplitude amp derived from seed.
+	InitDefault(amp float64, seed int64)
+	// StepOnce advances one full RK3 step; Advance takes n of them.
+	StepOnce()
+	Advance(n int)
+	// AdvanceAdaptive advances n steps, rescaling dt toward targetCFL
+	// every checkEvery steps; it returns the final dt.
+	AdvanceAdaptive(n int, targetCFL float64, checkEvery int) float64
+	// CFLEstimate returns the current CFL number at the current dt.
+	CFLEstimate() float64
+	// StatusLine returns a one-line progress summary. Collective; the
+	// returned string is meaningful on every rank.
+	StatusLine() string
+	// Checkpointing. The store is workload-agnostic; states carry the
+	// workload name so cross-workload resumes fail with both names.
+	NewCheckpointStore(dir string, keep int) *ckpt.Store
+	WriteCheckpoint(store *ckpt.Store, opts ...ckpt.WriteOption) (string, error)
+	ResumeLatest(store *ckpt.Store) (string, error)
+}
+
+// ChannelFlow is implemented by workloads whose state is (or embeds) the
+// wall-bounded channel solver, giving drivers access to channel-specific
+// diagnostics (mean profiles, friction velocity, spectra, budgets). The
+// passive-scalar workload qualifies; isotropic turbulence does not.
+type ChannelFlow interface {
+	ChannelSolver() *Solver
+}
+
+// workloadEntry is one registered scenario.
+type workloadEntry struct {
+	describe string
+	build    func(world *mpi.Comm, cfg Config) (Workload, error)
+	sched    func(cfg Config) *schedule.Schedule
+}
+
+var workloads = map[string]workloadEntry{}
+
+// RegisterWorkload adds a named workload to the registry. build constructs
+// it on a communicator; sched emits its per-step schedule block purely from
+// the configuration (no solver instance needed, so bench tools can price
+// and validate a workload without running it). Registering a name twice
+// panics: two packages fighting over a name is a programming error.
+func RegisterWorkload(name, describe string,
+	build func(world *mpi.Comm, cfg Config) (Workload, error),
+	sched func(cfg Config) *schedule.Schedule) {
+	if name == "" {
+		panic("core: RegisterWorkload with empty name")
+	}
+	if _, dup := workloads[name]; dup {
+		panic(fmt.Sprintf("core: workload %q registered twice", name))
+	}
+	workloads[name] = workloadEntry{describe: describe, build: build, sched: sched}
+}
+
+// WorkloadNames returns the registered workload names, sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkloadDescription returns the one-line description of a registered
+// workload ("" if unknown).
+func WorkloadDescription(name string) string {
+	return workloads[name].describe
+}
+
+// NewWorkload constructs the workload named by cfg.Workload ("" selects
+// "channel") on the given communicator. Unknown names report the full
+// registry so a typo on the command line is self-diagnosing.
+func NewWorkload(world *mpi.Comm, cfg Config) (Workload, error) {
+	name := cfg.Workload
+	if name == "" {
+		name = WorkloadChannel
+	}
+	ent, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q (registered: %v)", name, WorkloadNames())
+	}
+	cfg.Workload = name
+	return ent.build(world, cfg)
+}
+
+// WorkloadSchedule returns the declarative per-step schedule block of the
+// workload named by cfg.Workload, without constructing a solver. For the
+// channel workloads the block describes the divergence-form nonlinear
+// pipeline (the only form the schedule models).
+func WorkloadSchedule(cfg Config) (*schedule.Schedule, error) {
+	name := cfg.Workload
+	if name == "" {
+		name = WorkloadChannel
+	}
+	ent, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q (registered: %v)", name, WorkloadNames())
+	}
+	return ent.sched(cfg), nil
+}
+
+func init() {
+	RegisterWorkload(WorkloadChannel,
+		"turbulent channel flow (KMM v/omega_y, B-spline wall-normal)",
+		func(world *mpi.Comm, cfg Config) (Workload, error) { return New(world, cfg) },
+		func(cfg Config) *schedule.Schedule { return cfg.Schedule() })
+	RegisterWorkload(WorkloadIsotropic,
+		"triply-periodic isotropic turbulence (pure Fourier, diagonal viscous solve)",
+		func(world *mpi.Comm, cfg Config) (Workload, error) { return NewIsotropic(world, cfg) },
+		func(cfg Config) *schedule.Schedule { return cfg.IsotropicSchedule() })
+	RegisterWorkload(WorkloadScalar,
+		"passive scalar advected by turbulent channel flow (heated walls)",
+		func(world *mpi.Comm, cfg Config) (Workload, error) { return NewScalar(world, cfg) },
+		func(cfg Config) *schedule.Schedule { return cfg.ScalarSchedule() })
+}
+
+// Workload interface methods of the channel solver. The channel solver is
+// the registry's first entry; these accessors adapt its existing API
+// without touching the numerical hot path.
+
+// WorkloadName returns the workload stamped into the configuration
+// ("channel" for directly constructed solvers, "scalar" for the embedded
+// solver inside a ScalarSolver).
+func (s *Solver) WorkloadName() string { return s.Cfg.Workload }
+
+// CurrentStep returns the number of completed RK3 steps.
+func (s *Solver) CurrentStep() int { return s.Step }
+
+// CurrentTime returns the simulated time.
+func (s *Solver) CurrentTime() float64 { return s.Time }
+
+// CurrentDt returns the current time step (tracks adaptive stepping).
+func (s *Solver) CurrentDt() float64 { return s.Cfg.Dt }
+
+// ChannelSolver exposes the solver to channel-specific diagnostics.
+func (s *Solver) ChannelSolver() *Solver { return s }
+
+// InitDefault seeds the canonical channel initial condition: the laminar
+// parabola plus a deterministic divergence-free perturbation.
+func (s *Solver) InitDefault(amp float64, seed int64) {
+	s.SetLaminar()
+	s.Perturb(amp, 2, 2, seed)
+}
+
+// StatusLine summarizes the run the way cmd/dns always has: energy,
+// friction velocity, bulk velocity and the boundary-condition residual.
+// Collective.
+func (s *Solver) StatusLine() string {
+	e := s.TotalEnergy()
+	ut := s.FrictionVelocity()
+	ub := s.BulkVelocity()
+	bc := s.BCResidual()
+	return fmt.Sprintf("step %6d  t=%8.4f  E=%10.6f  u_tau=%6.4f  Ub=%8.4f  BCres=%.2e",
+		s.Step, s.Time, e, ut, ub, bc)
+}

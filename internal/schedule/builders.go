@@ -120,6 +120,148 @@ func Timestep(p TimestepParams) *Schedule {
 	return s
 }
 
+// IsoSolveFlopsPerPoint prices the isotropic workload's per-point spectral
+// update: nonlinear-term assembly from the six product spectra, the
+// divergence-free projection and the diagonal IMEX advance for three
+// velocity components — a few tens of flops, nothing like the banded
+// channel solve.
+const IsoSolveFlopsPerPoint = 60.0
+
+// ScalarSolveFlopsPerPoint prices the passive scalar's per-point implicit
+// work: one banded solve plus the divergence assembly of the scalar flux —
+// roughly a quarter of the three-component Navier-Stokes advance.
+const ScalarSolveFlopsPerPoint = 500.0
+
+// IsotropicTimestep builds one RK3 timestep of the triply-periodic
+// isotropic-turbulence workload: per substep, an inverse y FFT brings the
+// three velocity fields to y-physical space, the channel pipeline's four
+// transposes and padded z/x transforms evaluate the six dealiased products,
+// a forward y FFT returns the products to fully spectral space, and a
+// diagonal (bandwidth-0) per-mode projection + IMEX advance replaces the
+// channel's banded wall-normal solve. The transposes move exactly the
+// channel's images, so the pencil layer needs no new machinery.
+func IsotropicTimestep(p TimestepParams) *Schedule {
+	ranks := p.PA * p.PB
+	nkx := p.Nx / 2
+	mx, mz := 3*p.Nx/2, 3*p.Nz/2
+	fieldBytes := 16 * float64(nkx) * float64(p.Nz) * float64(p.Ny) / float64(ranks)
+	padBytes := fieldBytes * 1.5
+	linesY := nkx * p.Nz
+	linesZ := nkx * p.Ny
+	linesX := mz * p.Ny
+
+	s := &Schedule{
+		Name: "isotropic_timestep",
+		Nx:   p.Nx, Ny: p.Ny, Nz: p.Nz, NKx: nkx,
+		PA: p.PA, PB: p.PB, Ranks: ranks,
+	}
+	for sub := 1; sub <= 3; sub++ {
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseFFTInverse.String(), Sub: sub,
+			Axis: "y", Inverse: true,
+			Fields: 3, Lines: linesY, Points: p.Ny,
+			Flops: 3 * float64(linesY) * FFTFlops(p.Ny, false),
+		})
+		s.transpose(sub, DirYtoZ, "B", p.PB, 3, fieldBytes*3, p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseFFTInverse.String(), Sub: sub,
+			Axis: "z", Inverse: true, Padded: true,
+			Fields: 3, Lines: linesZ, Points: mz,
+			Flops: 3 * float64(linesZ) * FFTFlops(mz, false),
+		})
+		s.transpose(sub, DirZtoX, "A", p.PA, 3, padBytes*3, p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
+			Axis: "x", Inverse: true, Real: true, Padded: true,
+			Fields: 3, Lines: linesX, Points: mx,
+			Flops: 3 * float64(linesX) * FFTFlops(mx, true),
+		})
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
+			Axis: "x", Real: true, Padded: true,
+			Fields: p.Products, Lines: linesX, Points: mx,
+			Flops: float64(p.Products) * float64(linesX) * FFTFlops(mx, true),
+		})
+		s.transpose(sub, DirXtoZ, "A", p.PA, p.Products, padBytes*float64(p.Products), p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseFFTForward.String(), Sub: sub,
+			Axis: "z", Padded: true,
+			Fields: p.Products, Lines: linesZ, Points: mz,
+			Flops: float64(p.Products) * float64(linesZ) * FFTFlops(mz, false),
+		})
+		s.transpose(sub, DirZtoY, "B", p.PB, p.Products, fieldBytes*float64(p.Products), p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseFFTForward.String(), Sub: sub,
+			Axis: "y",
+			Fields: p.Products, Lines: linesY, Points: p.Ny,
+			Flops: float64(p.Products) * float64(linesY) * FFTFlops(p.Ny, false),
+		})
+		s.Ops = append(s.Ops, Op{
+			Kind: OpSolve, Phase: PhaseViscousSolve.String(), Sub: sub,
+			Systems: nkx * p.Nz, Bandwidth: 0,
+			Flops: float64(nkx) * float64(p.Nz) * float64(p.Ny) * IsoSolveFlopsPerPoint,
+		})
+	}
+	return s
+}
+
+// ScalarTimestep builds one RK3 timestep of the passive-scalar workload:
+// the full channel timestep, plus a second forward/backward excursion per
+// substep that carries the three velocities and the scalar out to the
+// dealiased physical grid (4 fields), forms the three flux products
+// (u*th, v*th, w*th) and brings them back (3 fields), followed by the
+// scalar's banded implicit solve. The same transpose directions appear
+// twice per substep with different field counts, which is why the
+// telemetry consistency check aggregates per direction rather than
+// requiring uniform op shapes.
+func ScalarTimestep(p TimestepParams) *Schedule {
+	s := Timestep(p)
+	s.Name = "scalar_timestep"
+	ranks := p.PA * p.PB
+	nkx := p.Nx / 2
+	mx, mz := 3*p.Nx/2, 3*p.Nz/2
+	fieldBytes := 16 * float64(nkx) * float64(p.Nz) * float64(p.Ny) / float64(ranks)
+	padBytes := fieldBytes * 1.5
+	linesZ := nkx * p.Ny
+	linesX := mz * p.Ny
+	for sub := 1; sub <= 3; sub++ {
+		s.transpose(sub, DirYtoZ, "B", p.PB, 4, fieldBytes*4, p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseFFTInverse.String(), Sub: sub,
+			Axis: "z", Inverse: true, Padded: true,
+			Fields: 4, Lines: linesZ, Points: mz,
+			Flops: 4 * float64(linesZ) * FFTFlops(mz, false),
+		})
+		s.transpose(sub, DirZtoX, "A", p.PA, 4, padBytes*4, p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
+			Axis: "x", Inverse: true, Real: true, Padded: true,
+			Fields: 4, Lines: linesX, Points: mx,
+			Flops: 4 * float64(linesX) * FFTFlops(mx, true),
+		})
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseNonlinear.String(), Sub: sub,
+			Axis: "x", Real: true, Padded: true,
+			Fields: 3, Lines: linesX, Points: mx,
+			Flops: 3 * float64(linesX) * FFTFlops(mx, true),
+		})
+		s.transpose(sub, DirXtoZ, "A", p.PA, 3, padBytes*3, p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpFFT, Phase: PhaseFFTForward.String(), Sub: sub,
+			Axis: "z", Padded: true,
+			Fields: 3, Lines: linesZ, Points: mz,
+			Flops: 3 * float64(linesZ) * FFTFlops(mz, false),
+		})
+		s.transpose(sub, DirZtoY, "B", p.PB, 3, fieldBytes*3, p.PackPasses, 0)
+		s.Ops = append(s.Ops, Op{
+			Kind: OpSolve, Phase: PhaseViscousSolve.String(), Sub: sub,
+			Systems: nkx * p.Nz, Bandwidth: solveBandwidth,
+			Flops: float64(nkx) * float64(p.Nz) * float64(p.Ny) * ScalarSolveFlopsPerPoint,
+		})
+	}
+	return s
+}
+
 // TransposeCycleParams describes the Table 5 program: one full transpose
 // cycle (y -> z -> x then back) on the spectral grid, no FFT work.
 type TransposeCycleParams struct {

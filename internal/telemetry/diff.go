@@ -131,6 +131,16 @@ func Diff(base, cand *Report, opt DiffOptions) *DiffResult {
 		fmt.Sprintf("base %q cand %q", base.Schema, cand.Schema))
 	structural("table", base.Table == cand.Table,
 		fmt.Sprintf("base %q cand %q", base.Table, cand.Table))
+	// Workload mismatch is structural, not numeric drift: comparing a
+	// channel run against an isotropic run is an artifact-wiring error no
+	// ratio threshold should paper over. Reports predating the workload
+	// registry carry no key on either side and skip the line.
+	bwl, bok := base.Config["workload"]
+	cwl, cok := cand.Config["workload"]
+	if bok || cok {
+		structural("workload", bwl == cwl,
+			fmt.Sprintf("base %q cand %q", bwl, cwl))
+	}
 
 	candPhases := map[string]PhaseStats{}
 	for _, p := range cand.Phases {

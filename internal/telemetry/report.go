@@ -354,16 +354,23 @@ func (r *Report) validateSchedule() error {
 // CheckScheduleConsistency cross-checks the schedule block against the
 // measured communication table. Each wire transpose moves one packed send
 // image plus one unpacked receive image per rank — 2x the schedule op's
-// bytes_per_rank — and CommSize-1 point-to-point messages, so for every
-// direction the schedule declares, the measured comm channel must satisfy
+// bytes_per_rank — and Messages point-to-point messages, so for every
+// direction the schedule declares, one execution of the whole program
+// performs all of that direction's ops in order. With opsPerExec schedule
+// ops in a direction, moving bytesPerExec payload and msgsPerExec messages
+// between them, the measured comm channel must satisfy
 //
-//	bytes    == calls * 2 * bytes_per_rank   (to 1e-6 relative)
-//	messages == calls * (comm_size - 1)      (exactly)
+//	calls    == executions * ops_per_exec    (exactly)
+//	bytes    == executions * 2 * bytes_per_exec   (to 1e-6 relative)
+//	messages == executions * msgs_per_exec   (exactly)
 //
-// independent of how many times the program ran. Overlap ops count like
-// transposes with messages = chunks * (comm_size - 1): the pipelined
-// exchange sends one message per remote peer per chunk but moves the same
-// images. When the report carries
+// independent of how many times the program ran. This covers programs
+// whose executions of one direction vary in size (the scalar workload
+// sends 6 channel fields and 4 scalar-excursion fields through YtoZ each
+// substep); for uniform programs it reduces to the per-call invariant.
+// Overlap ops count like transposes with messages = chunks *
+// (comm_size - 1): the pipelined exchange sends one message per remote
+// peer per chunk but moves the same images. When the report carries
 // flop accounting driven by the same schedule (timestep runs), the total is
 // checked against steps * schedule.TotalFlops to per-rank integer-truncation
 // slack. A nil schedule passes: the check gates consistency, not presence.
@@ -373,35 +380,39 @@ func (r *Report) CheckScheduleConsistency() error {
 		return nil
 	}
 	type dirShape struct {
-		bytes float64 // per-rank payload of one execution of this direction
-		peers int     // messages per call: chunks * (CommSize - 1)
+		ops   int64   // schedule ops of this direction per execution
+		bytes float64 // per-rank payload of one execution, summed over its ops
+		msgs  int64   // messages of one execution, summed over its ops
 	}
 	shapes := map[string]dirShape{}
 	for _, op := range s.Ops {
 		if op.Kind != schedule.OpTranspose && op.Kind != schedule.OpOverlap {
 			continue
 		}
-		sh, seen := shapes[op.Dir]
-		if seen && (sh.bytes != op.BytesPerRank || sh.peers != op.Messages) {
-			// Executions of one direction vary in size within the program;
-			// the per-call invariant below would not be well defined.
-			return fmt.Errorf("schedule: direction %s has non-uniform transpose sizes", op.Dir)
-		}
-		shapes[op.Dir] = dirShape{bytes: op.BytesPerRank, peers: op.Messages}
+		sh := shapes[op.Dir]
+		sh.ops++
+		sh.bytes += op.BytesPerRank
+		sh.msgs += int64(op.Messages)
+		shapes[op.Dir] = sh
 	}
 	for _, c := range r.Comm {
 		sh, ok := shapes[c.Op]
 		if !ok {
 			continue // collectives and channels outside the schedule
 		}
-		wantBytes := 2 * sh.bytes * float64(c.Calls)
-		if diff := math.Abs(float64(c.Bytes) - wantBytes); diff > 1e-6*wantBytes {
-			return fmt.Errorf("schedule: %s: measured %d bytes over %d calls, schedule predicts %.0f",
-				c.Op, c.Bytes, c.Calls, wantBytes)
+		if c.Calls%sh.ops != 0 {
+			return fmt.Errorf("schedule: %s: measured %d calls, schedule declares %d ops per execution",
+				c.Op, c.Calls, sh.ops)
 		}
-		if want := c.Calls * int64(sh.peers); c.Messages != want {
-			return fmt.Errorf("schedule: %s: measured %d messages over %d calls, schedule predicts %d",
-				c.Op, c.Messages, c.Calls, want)
+		execs := c.Calls / sh.ops
+		wantBytes := 2 * sh.bytes * float64(execs)
+		if diff := math.Abs(float64(c.Bytes) - wantBytes); diff > 1e-6*wantBytes {
+			return fmt.Errorf("schedule: %s: measured %d bytes over %d executions, schedule predicts %.0f",
+				c.Op, c.Bytes, execs, wantBytes)
+		}
+		if want := execs * sh.msgs; c.Messages != want {
+			return fmt.Errorf("schedule: %s: measured %d messages over %d executions, schedule predicts %d",
+				c.Op, c.Messages, execs, want)
 		}
 	}
 	if r.Flops > 0 && r.Steps > 0 && r.Ranks > 0 {

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"channeldns/internal/schedule"
+)
+
+// Tests of the workload structural diff line and the per-direction
+// aggregate form of the schedule consistency check.
+
+func TestDiffWorkloadStructural(t *testing.T) {
+	workloadLine := func(res *DiffResult) *DiffLine {
+		for i := range res.Lines {
+			if res.Lines[i].Metric == "workload" {
+				return &res.Lines[i]
+			}
+		}
+		return nil
+	}
+
+	// Matching workloads pass.
+	base, cand := fixtureReport(1), fixtureReport(1)
+	base.Config["workload"] = "channel"
+	cand.Config["workload"] = "channel"
+	res := Diff(base, cand, DiffOptions{})
+	if l := workloadLine(res); l == nil || l.Verdict != Pass {
+		t.Fatalf("matching workloads: line %+v", l)
+	}
+
+	// A mismatch is structural: it fails even in warn-only mode, where
+	// numeric regressions are capped at warn.
+	cand = fixtureReport(1)
+	cand.Config["workload"] = "isotropic"
+	res = Diff(base, cand, DiffOptions{WarnOnly: true})
+	if res.Verdict != Fail {
+		t.Fatalf("workload mismatch in warn-only mode: verdict %v, want fail", res.Verdict)
+	}
+	if l := workloadLine(res); l == nil || l.Verdict != Fail ||
+		!strings.Contains(l.Note, "channel") || !strings.Contains(l.Note, "isotropic") {
+		t.Fatalf("workload mismatch line %+v, want fail naming both", l)
+	}
+
+	// Reports predating the registry carry no key on either side and emit
+	// no workload line at all.
+	res = Diff(fixtureReport(1), fixtureReport(1), DiffOptions{})
+	if l := workloadLine(res); l != nil {
+		t.Fatalf("legacy reports grew a workload line: %+v", l)
+	}
+}
+
+// aggregateFixture builds a report whose schedule sends two different-sized
+// YtoZ ops per execution (the scalar workload's shape: the channel's
+// six-field transpose plus a four-field scalar excursion), measured over
+// three executions.
+func aggregateFixture() *Report {
+	r := fixtureReport(1)
+	r.Schedule = &schedule.Schedule{
+		Name: "timestep", Nx: 16, Ny: 17, Nz: 16, NKx: 8, PA: 2, PB: 2, Ranks: 4,
+		Ops: []schedule.Op{
+			{Kind: schedule.OpTranspose, Phase: "transpose", Dir: "YtoZ",
+				Comm: "A", CommSize: 2, Fields: 6, BytesPerRank: 600, Messages: 1},
+			{Kind: schedule.OpTranspose, Phase: "transpose", Dir: "YtoZ",
+				Comm: "A", CommSize: 2, Fields: 4, BytesPerRank: 400, Messages: 1},
+			{Kind: schedule.OpTranspose, Phase: "transpose", Dir: "ZtoY",
+				Comm: "A", CommSize: 2, Fields: 6, BytesPerRank: 600, Messages: 1},
+		},
+	}
+	// 3 executions: YtoZ sees both ops each time, ZtoY one.
+	r.Comm = []CommStats{
+		{Op: "YtoZ", Calls: 6, Messages: 6, Bytes: 3 * 2 * 1000},
+		{Op: "ZtoY", Calls: 3, Messages: 3, Bytes: 3 * 2 * 600},
+	}
+	r.Flops = 0 // no flop accounting in this fixture
+	return r
+}
+
+func TestScheduleConsistencyAggregates(t *testing.T) {
+	if err := aggregateFixture().CheckScheduleConsistency(); err != nil {
+		t.Fatalf("consistent non-uniform schedule rejected: %v", err)
+	}
+
+	// Calls not divisible by the per-execution op count: a half-finished
+	// direction is an instrumentation bug.
+	r := aggregateFixture()
+	r.Comm[0].Calls = 7
+	if err := r.CheckScheduleConsistency(); err == nil ||
+		!strings.Contains(err.Error(), "ops per execution") {
+		t.Fatalf("odd call count accepted: %v", err)
+	}
+
+	// Byte total off by one op's worth: the aggregate must catch it even
+	// though a per-call mean would sit between the two op sizes.
+	r = aggregateFixture()
+	r.Comm[0].Bytes -= 2 * 400
+	if err := r.CheckScheduleConsistency(); err == nil ||
+		!strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("missing payload accepted: %v", err)
+	}
+
+	// Message count mismatch.
+	r = aggregateFixture()
+	r.Comm[1].Messages = 4
+	if err := r.CheckScheduleConsistency(); err == nil ||
+		!strings.Contains(err.Error(), "messages") {
+		t.Fatalf("message mismatch accepted: %v", err)
+	}
+
+	// A comm channel outside the schedule (collectives) is ignored.
+	r = aggregateFixture()
+	r.Comm = append(r.Comm, CommStats{Op: "allreduce", Calls: 17, Bytes: 999})
+	if err := r.CheckScheduleConsistency(); err != nil {
+		t.Fatalf("out-of-schedule channel rejected: %v", err)
+	}
+}
