@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke tcp-smoke obs-smoke clean
+.PHONY: ci vet build test race bench bench-alloc bench-smoke bench-diff ckpt-smoke tcp-smoke obs-smoke serve-smoke clean
 
-ci: vet build test race bench-smoke bench-diff ckpt-smoke tcp-smoke obs-smoke
+ci: vet build test race bench-smoke bench-diff ckpt-smoke tcp-smoke obs-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace channeldns/internal/ckpt
+	$(GO) test -race -short channeldns/internal/par channeldns/internal/mpi channeldns/internal/pencil channeldns/internal/telemetry channeldns/internal/trace channeldns/internal/ckpt channeldns/internal/server
 	$(GO) test -race -run 'Overlap|Workload|Registry|Isotropic|Scalar' channeldns/internal/core
 
 # Paper-table benchmarks with allocation reporting; see README
@@ -56,13 +56,15 @@ bench-smoke:
 	$(GO) run ./cmd/bench-validate -trace .bench-smoke/*.trace.json
 
 # Perf-regression gate: compare the fresh bench-smoke timestep report
-# against the committed baseline. Warn-only because the baseline's timings
-# come from another machine (and another grid size); structural mismatches
-# (schema, missing phases/comm channels, a dropped schedule block) still
-# fail. The -model pass compares measured phase seconds against the machine
-# model of the schedule block — advisory only, never gates.
+# against the committed baseline. The table9 comparison gates for real:
+# timing ratios are warned about inside bench-diff's tolerance logic, but
+# structural mismatches (schema, missing phases/comm channels, a dropped
+# schedule block) fail the build. table5 stays warn-only — its baseline's
+# comm shape depends more on the measuring machine. The -model pass
+# compares measured phase seconds against the machine model of the
+# schedule block — advisory only, never gates.
 bench-diff: bench-smoke
-	$(GO) run ./cmd/bench-diff -warn-only BENCH_table9.json .bench-smoke/BENCH_table9.json
+	$(GO) run ./cmd/bench-diff BENCH_table9.json .bench-smoke/BENCH_table9.json
 	$(GO) run ./cmd/bench-diff -warn-only BENCH_table5.json .bench-smoke/BENCH_table5.json
 	$(GO) run ./cmd/bench-diff -model .bench-smoke/BENCH_table9.json
 	$(GO) run ./cmd/bench-diff -model .bench-smoke/BENCH_table9_overlap.json
@@ -95,6 +97,14 @@ tcp-smoke:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
+# DNS-as-a-service drill: start dnsserve, submit jobs over the HTTP API
+# with stream watchers attached, SIGKILL the server after the first
+# checkpoint, and require the restarted server to auto-resume the
+# interrupted job and finish it; stored reports must bench-validate and a
+# final SIGTERM must drain cleanly.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 clean:
-	rm -rf .bench-smoke .ckpt-smoke .tcp-smoke .obs-smoke
+	rm -rf .bench-smoke .ckpt-smoke .tcp-smoke .obs-smoke .serve-smoke
 	rm -f *.trace.json

@@ -2,6 +2,8 @@
 // command (internal/ckpt format):
 //
 //	ckpt ls -dir DIR              list checkpoints with their status
+//	ckpt ls -runs DIR             list a dnsserve run store: every run with
+//	                              its state, workload and latest checkpoint
 //	ckpt verify -dir DIR [NAME]   fully verify one or all checkpoints
 //	ckpt corrupt -dir DIR [NAME]  flip a bit in a shard (recovery drill)
 //
@@ -18,10 +20,11 @@ import (
 	"os"
 
 	"channeldns/internal/ckpt"
+	"channeldns/internal/server"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ckpt {ls|verify|corrupt} -dir DIR [options] [NAME]\n")
+	fmt.Fprintf(os.Stderr, "usage: ckpt {ls|verify|corrupt} {-dir DIR | -runs DIR} [options] [NAME]\n")
 	os.Exit(2)
 }
 
@@ -32,9 +35,17 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet("ckpt "+cmd, flag.ExitOnError)
 	dir := fs.String("dir", "", "checkpoint store directory")
+	runs := fs.String("runs", "", "ls: treat DIR as a dnsserve run-store root and list every run")
 	shard := fs.Int("shard", 0, "corrupt: shard index to damage")
 	trunc := fs.Int64("truncate", -1, "corrupt: truncate the shard to this many bytes instead of flipping a bit")
 	fs.Parse(os.Args[2:])
+	if *runs != "" && cmd == "ls" {
+		if err := lsRuns(*runs); err != nil {
+			fmt.Fprintf(os.Stderr, "ckpt ls: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dir == "" {
 		usage()
 	}
@@ -78,6 +89,34 @@ func ls(store *ckpt.Store) error {
 		}
 		fmt.Printf("%s  ok  step=%d t=%.6g dt=%.6g ranks=%d bytes=%d fingerprint=%s\n",
 			name, m.Step, m.Time, m.Dt, m.Ranks, bytes, m.Fingerprint)
+	}
+	return nil
+}
+
+// lsRuns lists a dnsserve run store through the same discovery code the
+// server's restart recovery uses: one line per run with its persisted
+// state, workload, position, and latest published checkpoint.
+func lsRuns(root string) error {
+	runs, err := server.DiscoverRuns(root)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		fmt.Println("no runs")
+		return nil
+	}
+	for _, ri := range runs {
+		ckptCol := "-"
+		if ri.Manifest != nil {
+			ckptCol = fmt.Sprintf("%s step=%d", ri.CkptName, ri.Manifest.Step)
+		}
+		resume := ""
+		if ri.Resumable() && ri.Status.State != server.StatePaused {
+			resume = "  (resumes on next server start)"
+		}
+		fmt.Printf("%s  %-11s  %-9s  step=%-6d  ckpt=%s%s\n",
+			server.RunID(ri.ID), ri.Status.State, ri.Spec.Workload,
+			ri.Status.Step, ckptCol, resume)
 	}
 	return nil
 }

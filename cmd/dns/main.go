@@ -15,6 +15,9 @@
 // and needs -rank/-world/-coord; cmd/dnsrun spawns and wires such worlds:
 //
 //	dnsrun -n 4 -- -nx 32 -ny 49 -nz 32 -pa 2 -pb 2 -steps 200
+//
+// For a long-running service that queues many runs, checkpoints them
+// durably, streams live telemetry, and survives crashes, see cmd/dnsserve.
 package main
 
 import (
@@ -160,15 +163,11 @@ func main() {
 		}
 		fmt.Printf("telemetry endpoint: http://%s/telemetry (world dashboard under /metrics + /status, trace under /trace, pprof under /debug/pprof/)\n", addr)
 	}
-	switch *form {
-	case "divergence":
-	case "convective":
-		cfg.Nonlinear = core.FormConvective
-	case "skew":
-		cfg.Nonlinear = core.FormSkewSymmetric
-	default:
-		log.Fatalf("unknown -form %q", *form)
+	nlForm, err := core.ParseForm(*form)
+	if err != nil {
+		log.Fatalf("dns: %v", err)
 	}
+	cfg.Nonlinear = nlForm
 
 	isTCP := false
 	switch *transportF {

@@ -19,12 +19,14 @@
 // live on a filesystem shared by all hosts.
 //
 // Every child's output is forwarded line by line, prefixed with its rank.
-// The first child to exit non-zero (or to die on a signal) kills the rest
-// and sets dnsrun's exit status.
+// The first child to exit non-zero (or to die on a signal) kills the rest;
+// dnsrun exits with that child's own code (128+signo for signal deaths)
+// and its final stderr line names the failing rank.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -129,19 +131,45 @@ func main() {
 	for r, cmd := range procs {
 		go func() { exits <- exit{r, cmd.Wait()} }()
 	}
+	// The first rank to fail decides the run: its exit code becomes
+	// dnsrun's (signal deaths map to the shell convention 128+signo), and
+	// the final line names it, so a wrapping script learns which rank to
+	// look at. Later failures are collateral from the kill and don't
+	// override.
 	status := 0
+	failedRank := -1
 	for i := 0; i < *n; i++ {
 		e := <-exits
-		if e.err != nil {
-			if status == 0 {
-				fmt.Fprintf(os.Stderr, "dnsrun: rank %d failed: %v; stopping remaining ranks\n", e.rank, e.err)
-				killAll(procs)
-			}
-			status = 1
+		if e.err != nil && status == 0 {
+			status = exitCode(e.err)
+			failedRank = e.rank
+			fmt.Fprintf(os.Stderr, "dnsrun: rank %d failed: %v; stopping remaining ranks\n", e.rank, e.err)
+			killAll(procs)
 		}
 	}
 	outWG.Wait()
+	if status != 0 {
+		fmt.Fprintf(os.Stderr, "dnsrun: failed: rank %d exited with status %d\n", failedRank, status)
+	}
 	os.Exit(status)
+}
+
+// exitCode maps a child's Wait error to the status dnsrun propagates:
+// the child's own exit code when it exited; 128+signal when a signal
+// killed it (the shell convention, so SIGKILL reads as 137); 1 for
+// errors that never produced a process status.
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		return 1
+	}
+	if code := ee.ExitCode(); code >= 0 {
+		return code
+	}
+	if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+		return 128 + int(ws.Signal())
+	}
+	return 1
 }
 
 func fatalf(format string, a ...any) {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestExitCode: the launcher's status propagation — a failing child's own
+// exit code passes through, signal deaths follow the 128+signo shell
+// convention, and non-process errors collapse to 1.
+func TestExitCode(t *testing.T) {
+	run := func(name string, arg ...string) error {
+		t.Helper()
+		return exec.Command(name, arg...).Run()
+	}
+
+	if err := run("sh", "-c", "exit 7"); err == nil {
+		t.Fatal("exit 7 did not error")
+	} else if got := exitCode(err); got != 7 {
+		t.Errorf("exit 7 propagated as %d", got)
+	}
+	if err := run("sh", "-c", "exit 0"); err != nil {
+		t.Fatalf("clean exit errored: %v", err)
+	}
+
+	// A signal-killed child: start a sleeper, kill it, reap the status.
+	cmd := exec.Command("sleep", "60")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the child a beat to exec before the signal lands.
+	time.Sleep(50 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatal("killed child reported no error")
+	}
+	if got, want := exitCode(err), 128+int(syscall.SIGKILL); got != want {
+		t.Errorf("SIGKILL death propagated as %d, want %d", got, want)
+	}
+
+	// Errors that never produced a process status (e.g. exec failures).
+	if err := run("/nonexistent-binary-for-dnsrun-test"); err == nil {
+		t.Fatal("missing binary did not error")
+	} else if got := exitCode(err); got != 1 {
+		t.Errorf("non-exit error propagated as %d, want 1", got)
+	}
+}

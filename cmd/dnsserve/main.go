@@ -1,0 +1,81 @@
+// Command dnsserve runs the DNS-as-a-service job server: a long-running
+// process that accepts simulation jobs as JSON over HTTP, queues and runs
+// them through the workload registry, checkpoints them into a durable
+// per-run store, and streams live status, telemetry deltas and field-plane
+// frames to any number of watchers. If the server dies — SIGKILL included
+// — the next start rediscovers interrupted runs from their on-disk
+// manifests and resumes them from their latest checkpoint.
+//
+// Start it, submit a job, watch it:
+//
+//	dnsserve -listen localhost:8080 -data ./runs
+//	curl -d '{"nx":16,"ny":24,"nz":16,"steps":100}' localhost:8080/v1/jobs
+//	curl -N localhost:8080/v1/jobs/job-000000/stream
+//
+// See the README's "DNS as a service" section for the full API.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+import "channeldns/internal/server"
+
+func main() {
+	var (
+		listen   = flag.String("listen", "localhost:8080", "HTTP listen address (port 0 picks a free port)")
+		data     = flag.String("data", "runs", "run store root: one directory per job (specs, checkpoints, reports, traces)")
+		parallel = flag.Int("parallel", 1, "jobs running concurrently")
+		queue    = flag.Int("queue", 16, "submit queue capacity")
+		keep     = flag.Int("keep", 0, "retention: prune the oldest finished runs beyond K (0 = keep all)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period: running jobs checkpoint, then HTTP drains")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "dnsserve: ", log.LstdFlags)
+
+	srv, err := server.New(*data, server.Options{
+		Parallel: *parallel,
+		Queue:    *queue,
+		Keep:     *keep,
+		Logf:     logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(addr+"\n"), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	logger.Printf("listening on http://%s (run store %s)", addr, *data)
+
+	// SIGTERM/SIGINT start the graceful drain: running jobs checkpoint and
+	// park as "interrupted"; the next start auto-resumes them.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		logger.Printf("%v: draining (checkpointing running jobs)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			logger.Printf("drain: %v", err)
+			os.Exit(1)
+		}
+	}()
+	if err := srv.Serve(); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -396,6 +396,16 @@ func (s *Store) Latest() (string, *Manifest, error) {
 	return "", nil, ErrNoCheckpoint
 }
 
+// LatestManifest is one-shot discovery for callers that hold only a
+// directory, not a live run: the newest fully verified checkpoint in dir
+// and its manifest (workload, grid, step, shard inventory). The job
+// server's restart recovery and `ckpt ls -runs` both key on it, so the
+// drill tool and the server cannot drift. ErrNoCheckpoint when the
+// directory holds nothing usable (including when it does not exist).
+func LatestManifest(dir string) (string, *Manifest, error) {
+	return NewStore(dir).Latest()
+}
+
 // matches reports whether a manifest belongs to the configuration dst
 // describes (workload + fingerprint + grid identity; the process grid is
 // free to differ — that is the point of re-sharded resume).

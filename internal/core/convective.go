@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -30,6 +31,39 @@ const (
 	// FormSkewSymmetric averages the two, conserving energy discretely.
 	FormSkewSymmetric
 )
+
+// formNames maps the canonical command-line / job-spec spellings onto the
+// forms; ParseForm and Form.String are its two directions.
+var formNames = map[string]Form{
+	"divergence": FormDivergence,
+	"convective": FormConvective,
+	"skew":       FormSkewSymmetric,
+}
+
+// ParseForm resolves the canonical spelling of a convective form
+// ("divergence", "convective", "skew"); "" selects the paper's divergence
+// form. Both cmd/dns and the job server's serializable specs go through
+// this, so the two front ends cannot drift.
+func ParseForm(name string) (Form, error) {
+	if name == "" {
+		return FormDivergence, nil
+	}
+	f, ok := formNames[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown nonlinear form %q (divergence | convective | skew)", name)
+	}
+	return f, nil
+}
+
+// String returns the canonical spelling ParseForm accepts.
+func (f Form) String() string {
+	for name, v := range formNames {
+		if v == f {
+			return name
+		}
+	}
+	return fmt.Sprintf("Form(%d)", int(f))
+}
 
 // velocityAndGradValues evaluates {u, v, w, du/dy, dv/dy, dw/dy} at the
 // collocation points for every locally owned mode, y-pencil layout. The

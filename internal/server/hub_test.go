@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"channeldns/internal/telemetry"
+)
+
+// TestHubBackpressure: a watcher that never drains is evicted the moment
+// its buffer fills — Publish must not block on it, and the healthy
+// watcher sees every event.
+func TestHubBackpressure(t *testing.T) {
+	h := NewHub(4, 16)
+	stalled, _ := h.Subscribe()
+	healthy, _ := h.Subscribe()
+
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for range healthy.C {
+			n++
+		}
+		drained <- n
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			h.Publish(EventStatus, map[string]int{"i": i})
+			// Let the healthy watcher's drain loop keep pace, so only the
+			// stalled one ever fills. The stalled watcher's buffer is full
+			// after 4 publishes; every one after that must not block.
+			for len(healthy.c) > 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a stalled watcher")
+	}
+
+	// The stalled watcher's channel closes with the dropped mark set.
+	deadline := time.After(2 * time.Second)
+	received := 0
+drain:
+	for {
+		select {
+		case _, open := <-stalled.C:
+			if !open {
+				break drain
+			}
+			received++
+		case <-deadline:
+			t.Fatal("stalled watcher was never dropped")
+		}
+	}
+	if !stalled.Dropped() {
+		t.Error("evicted watcher not marked dropped")
+	}
+	if received != 4 {
+		t.Errorf("stalled watcher buffered %d events, want its capacity 4", received)
+	}
+	if got := h.Watchers(); got != 1 {
+		t.Errorf("hub reports %d watchers after eviction, want 1", got)
+	}
+
+	h.Close()
+	if n := <-drained; n != 20 {
+		t.Errorf("healthy watcher saw %d of 20 events", n)
+	}
+	if healthy.Dropped() {
+		t.Error("healthy watcher marked dropped")
+	}
+}
+
+// TestHubReplaySince: a late subscriber replays the ring atomically with
+// its subscription, and Since/Wait serve the long-poll path.
+func TestHubReplaySince(t *testing.T) {
+	h := NewHub(8, 4) // ring smaller than the publish count
+	for i := 0; i < 6; i++ {
+		h.Publish(EventStatus, i)
+	}
+	w, replay := h.Subscribe()
+	if len(replay) != 4 {
+		t.Fatalf("replay carries %d events, want ring capacity 4", len(replay))
+	}
+	if replay[0].Seq != 3 || replay[3].Seq != 6 {
+		t.Errorf("replay seqs [%d..%d], want [3..6]", replay[0].Seq, replay[3].Seq)
+	}
+
+	evs, open := h.Since(4)
+	if !open || len(evs) != 2 {
+		t.Errorf("Since(4): %d events open=%v, want 2 true", len(evs), open)
+	}
+
+	// Wait returns as soon as something newer than `after` lands.
+	got := make(chan []Event, 1)
+	go func() {
+		evs, _ := h.Wait(context.Background(), 6)
+		got <- evs
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Publish(EventStatus, 7)
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Seq != 7 {
+			t.Errorf("Wait(6) returned %+v, want the single seq-7 event", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on publish")
+	}
+
+	// Wait honors its context when nothing arrives.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if evs, _ := h.Wait(ctx, 100); len(evs) != 0 {
+		t.Errorf("Wait past the head returned %d events", len(evs))
+	}
+
+	h.Close()
+	if _, open := <-w.C; open {
+		// drain the live event first
+		for range w.C {
+		}
+	}
+	if w2, _ := h.Subscribe(); w2 != nil {
+		t.Error("Subscribe after Close returned a watcher")
+	}
+	if _, open := h.Since(0); open {
+		t.Error("Since reports open after Close")
+	}
+}
+
+// BenchmarkStepWatchers pins the cost of a full service-loop iteration —
+// one solver step plus the between-steps publish — as the watcher count
+// grows. The step dominates; fan-out must stay noise.
+func BenchmarkStepWatchers(b *testing.B) {
+	for _, watchers := range []int{0, 10, 100} {
+		b.Run(fmt.Sprintf("watchers=%d", watchers), func(b *testing.B) {
+			wl, reg, cleanup := benchSolver(b)
+			defer cleanup()
+			h := NewHub(64, 256)
+			var drained atomic.Int64
+			for i := 0; i < watchers; i++ {
+				w, _ := h.Subscribe()
+				go func() {
+					for range w.C {
+						drained.Add(1)
+					}
+				}()
+			}
+			prev := reg.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wl.StepOnce()
+				h.Publish(EventStatus, Status{Step: wl.CurrentStep(), Time: wl.CurrentTime()})
+				cur := reg.Snapshot()
+				if d := telemetry.DeltaSnapshot(&prev, &cur); !d.Empty() {
+					h.Publish(EventTelemetry, d)
+				}
+				prev = cur
+			}
+			b.StopTimer()
+			h.Close()
+		})
+	}
+}

@@ -1,0 +1,714 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"channeldns/internal/ckpt"
+	"channeldns/internal/core"
+	"channeldns/internal/mpi"
+	"channeldns/internal/par"
+	"channeldns/internal/telemetry"
+	"channeldns/internal/trace"
+)
+
+// The job manager owns the queue and the lifecycle. Submitted jobs wait
+// in a bounded FIFO channel; a configurable number of worker goroutines
+// pull from it and run one job at a time through mpi.Run on the
+// in-process transport. Stops (cancel, pause, drain) are delivered
+// through a per-job flag that rank 0 reads between steps and broadcasts,
+// so every rank leaves the step loop together and the pre-stop
+// checkpoint is a clean collective. Nothing the manager does runs inside
+// a solver step: publishing, persistence and plane rendering all happen
+// strictly between steps, which is what keeps the hot path at its serial
+// allocation budget no matter how many watchers are attached.
+
+// Stop requests, in escalation order. The first stop wins
+// (CompareAndSwap), so a drain cannot demote a cancel.
+const (
+	stopNone int32 = iota
+	stopCancel
+	stopPause
+	stopDrain
+	// stopCrash aborts the run attempt writing NOTHING — no checkpoint, no
+	// status, no report — leaving the on-disk record exactly as a SIGKILL
+	// would. Test-only: it is how the recovery test simulates the crash
+	// half of kill -9 without leaving the process.
+	stopCrash
+)
+
+// Job is one submitted run: its identity, spec, latest status, and the
+// stream hub its watchers attach to.
+type Job struct {
+	ID   int
+	Spec JobSpec // defaults resolved
+	Hub  *Hub
+
+	mu     sync.Mutex
+	status Status
+
+	stop atomic.Int32
+	// plane holds the latest rendered PNG frame (single-rank channel
+	// workloads only).
+	plane atomic.Pointer[planeData]
+	// live holds the instrumentation of the current run attempt, for the
+	// per-run /telemetry and /trace endpoints.
+	live atomic.Pointer[liveRun]
+}
+
+type planeData struct {
+	png   []byte
+	frame PlaneFrame
+}
+
+type liveRun struct {
+	reg *telemetry.Registry
+	trc *trace.Trace
+}
+
+// Status returns a copy of the job's current status.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+func (j *Job) update(f func(*Status)) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f(&j.status)
+	return j.status
+}
+
+// requestStop records the first stop request; later, different requests
+// lose. Returns the winning kind.
+func (j *Job) requestStop(kind int32) int32 {
+	if j.stop.CompareAndSwap(stopNone, kind) {
+		return kind
+	}
+	return j.stop.Load()
+}
+
+// Plane returns the latest rendered plane PNG and its descriptor.
+func (j *Job) Plane() ([]byte, PlaneFrame, bool) {
+	pd := j.plane.Load()
+	if pd == nil {
+		return nil, PlaneFrame{}, false
+	}
+	return pd.png, pd.frame, true
+}
+
+// LiveReport builds a BENCH report from the job's current run attempt
+// (nil when the job has not started running).
+func (j *Job) LiveReport() *telemetry.Report {
+	lr := j.live.Load()
+	if lr == nil {
+		return nil
+	}
+	return j.buildReport(lr)
+}
+
+func (j *Job) buildReport(lr *liveRun) *telemetry.Report {
+	rep := telemetry.NewReport("serve", lr.reg, j.Spec.ConfigMap())
+	if lr.trc != nil {
+		rep.Trace = trace.Summarize(lr.trc)
+	}
+	if form, err := core.ParseForm(j.Spec.Form); err == nil && form == core.FormDivergence {
+		if sched, err := core.WorkloadSchedule(j.Spec.Config(nil, nil, nil)); err == nil {
+			rep.Schedule = sched
+		}
+	}
+	return rep
+}
+
+// LiveTrace returns the run attempt's flight recorder (nil when tracing
+// is off or the job has not started).
+func (j *Job) LiveTrace() *trace.Trace {
+	lr := j.live.Load()
+	if lr == nil {
+		return nil
+	}
+	return lr.trc
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Parallel is the number of jobs running concurrently (0 selects 1).
+	Parallel int
+	// Queue is the submit queue capacity (0 selects 16); Submit fails
+	// when the queue is full.
+	Queue int
+	// Keep is the terminal-run retention of the store: after each job
+	// finishes, the oldest terminal runs beyond Keep are pruned
+	// (0 keeps everything).
+	Keep int
+	// WatcherBuf and RingCap size each job's hub (0 selects the hub
+	// defaults).
+	WatcherBuf int
+	RingCap    int
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("server: no such job")
+
+// Manager runs jobs against one RunStore.
+type Manager struct {
+	store *RunStore
+	opts  Options
+
+	mu   sync.Mutex
+	jobs map[int]*Job
+
+	queue    chan *Job
+	wg       sync.WaitGroup
+	draining atomic.Bool
+}
+
+// NewManager creates a manager over the run store rooted at dir and
+// starts its workers. Call Recover before accepting traffic to re-enqueue
+// runs a previous server instance left unfinished.
+func NewManager(dir string, opts Options) (*Manager, error) {
+	rs, err := NewRunStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = 1
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 16
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	m := &Manager{
+		store: rs,
+		opts:  opts,
+		jobs:  make(map[int]*Job),
+		queue: make(chan *Job, opts.Queue),
+	}
+	for i := 0; i < opts.Parallel; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Store returns the manager's run store.
+func (m *Manager) Store() *RunStore { return m.store }
+
+func (m *Manager) newJob(id int, spec JobSpec, st Status) *Job {
+	return &Job{
+		ID:     id,
+		Spec:   spec.withDefaults(),
+		Hub:    NewHub(m.opts.WatcherBuf, m.opts.RingCap),
+		status: st,
+	}
+}
+
+// Recover rediscovers the run store's contents after a restart:
+// terminal runs are registered for listing, paused runs wait for an
+// explicit resume, and every run whose persisted state says it still
+// owes steps — queued, running (the server died mid-flight), or
+// interrupted (a graceful drain) — is re-enqueued in id order and will
+// resume from its latest checkpoint manifest.
+func (m *Manager) Recover() error {
+	runs, err := DiscoverRuns(m.store.root)
+	if err != nil {
+		return err
+	}
+	for _, ri := range runs {
+		job := m.newJob(ri.ID, ri.Spec, ri.Status)
+		m.mu.Lock()
+		m.jobs[ri.ID] = job
+		m.mu.Unlock()
+		switch {
+		case terminalState(ri.Status.State):
+			job.Hub.Close()
+		case ri.Status.State == StatePaused:
+			m.opts.Logf("recovered %s: paused at step %d", RunID(ri.ID), ri.Status.Step)
+		default:
+			st := job.update(func(st *Status) { st.State = StateQueued })
+			if err := m.store.WriteStatus(ri.ID, st); err != nil {
+				return err
+			}
+			select {
+			case m.queue <- job:
+				m.opts.Logf("recovered %s: re-enqueued (was %q, checkpoint %q step %d)",
+					RunID(ri.ID), ri.Status.State, ri.CkptName, ri.Status.Step)
+			default:
+				return fmt.Errorf("recover %s: %w", RunID(ri.ID), ErrQueueFull)
+			}
+		}
+	}
+	return nil
+}
+
+// Submit validates a spec, materializes its run directory and enqueues
+// it. Returns the new job or ErrQueueFull.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Checked under the lock: Drain closes the queue while holding it, so a
+	// submit cannot race the close.
+	if m.draining.Load() {
+		return nil, errors.New("server: draining, not accepting jobs")
+	}
+	id, err := m.store.NextID()
+	if err != nil {
+		return nil, err
+	}
+	st := Status{
+		ID:        RunID(id),
+		State:     StateQueued,
+		Dt:        spec.withDefaults().Dt,
+		Submitted: time.Now().UTC(),
+	}
+	job := m.newJob(id, spec, st)
+	// Materialize the run directory before the job becomes visible to a
+	// worker: the run loop persists into it from its first moments.
+	if err := m.store.Create(id, job.Spec, st); err != nil {
+		return nil, err
+	}
+	select {
+	case m.queue <- job:
+	default:
+		os.RemoveAll(m.store.Dir(id))
+		return nil, ErrQueueFull
+	}
+	m.jobs[id] = job
+	m.opts.Logf("submitted %s: %s %dx%dx%d, %d steps",
+		st.ID, job.Spec.Workload, job.Spec.Nx, job.Spec.Ny, job.Spec.Nz, job.Spec.Steps)
+	return job, nil
+}
+
+// Get returns a job by numeric id.
+func (m *Manager) Get(id int) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns statuses newest-first, with offset/limit pagination, plus
+// the total number of jobs.
+func (m *Manager) List(offset, limit int) ([]Status, int) {
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	total := len(ids)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	ids = ids[offset:]
+	if limit > 0 && limit < len(ids) {
+		ids = ids[:limit]
+	}
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.Get(id); ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out, total
+}
+
+// Cancel requests a job stop. A running job checkpoints and stops at the
+// next step boundary; a queued job is dropped when a worker reaches it
+// (and marked cancelled immediately); paused jobs go terminal on the
+// spot. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id int) error {
+	job, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	job.requestStop(stopCancel)
+	st := job.Status()
+	if st.State == StateQueued || st.State == StatePaused {
+		m.finalize(job, StateCancelled, nil)
+	}
+	return nil
+}
+
+// Pause requests a running job to checkpoint and stop without going
+// terminal; its hub stays open so watchers ride through the resume.
+func (m *Manager) Pause(id int) error {
+	job, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	if job.Status().State != StateRunning {
+		return fmt.Errorf("server: %s is not running", RunID(id))
+	}
+	job.requestStop(stopPause)
+	return nil
+}
+
+// Resume re-enqueues a paused (or interrupted) job; it continues from
+// its latest checkpoint.
+func (m *Manager) Resume(id int) error {
+	job, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	st := job.Status()
+	if st.State != StatePaused && st.State != StateInterrupted {
+		return fmt.Errorf("server: %s is %s, not resumable", RunID(id), st.State)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining.Load() {
+		return errors.New("server: draining, not accepting jobs")
+	}
+	job.stop.Store(stopNone)
+	newSt := job.update(func(s *Status) { s.State = StateQueued })
+	if err := m.store.WriteStatus(id, newSt); err != nil {
+		return err
+	}
+	select {
+	case m.queue <- job:
+		job.Hub.Publish(EventState, newSt)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Drain stops the manager for a graceful shutdown: no new submissions,
+// running jobs checkpoint and park as "interrupted", queued jobs keep
+// their persisted "queued" state — all of them re-enqueue on the next
+// start. Blocks until the workers exit or ctx expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	if !m.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	m.mu.Lock()
+	for _, job := range m.jobs {
+		if job.Status().State == StateRunning {
+			job.requestStop(stopDrain)
+		}
+	}
+	close(m.queue)
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		if m.draining.Load() {
+			// Graceful shutdown: leave the persisted "queued" state for the
+			// next server instance to recover.
+			continue
+		}
+		if terminalState(job.Status().State) || job.stop.Load() == stopCancel {
+			m.finalize(job, StateCancelled, nil)
+			continue
+		}
+		m.runJob(job)
+	}
+}
+
+// runResult carries what rank 0 learned out of the mpi.Run world.
+type runResult struct {
+	err     error
+	stopped int32
+}
+
+func (m *Manager) runJob(job *Job) {
+	sp := job.Spec
+	threads := sp.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	pool := par.NewPool(threads)
+	defer pool.Close()
+	reg := telemetry.NewRegistry()
+	var trc *trace.Trace
+	if sp.Trace {
+		trc = trace.New(0)
+	}
+	job.live.Store(&liveRun{reg: reg, trc: trc})
+
+	now := time.Now().UTC()
+	st := job.update(func(s *Status) {
+		s.State = StateRunning
+		s.Started = &now
+		s.Error = ""
+	})
+	if err := m.store.WriteStatus(job.ID, st); err != nil {
+		m.finalize(job, StateFailed, err)
+		return
+	}
+	job.Hub.Publish(EventState, st)
+	m.opts.Logf("running %s", st.ID)
+
+	var res runResult
+	mpi.Run(sp.PA*sp.PB, func(c *mpi.Comm) {
+		m.runRanks(c, job, pool, reg, trc, &res)
+	})
+
+	if res.stopped == stopCrash {
+		// Simulated SIGKILL: the on-disk record must look exactly as an
+		// abrupt process death would leave it, so touch nothing.
+		return
+	}
+	switch {
+	case res.err != nil:
+		m.finalize(job, StateFailed, res.err)
+	case res.stopped == stopCancel:
+		m.finalize(job, StateCancelled, nil)
+	case res.stopped == stopPause:
+		m.finalize(job, StatePaused, nil)
+	case res.stopped == stopDrain:
+		m.finalize(job, StateInterrupted, nil)
+	default:
+		if err := m.writeArtifacts(job, trc); err != nil {
+			m.finalize(job, StateFailed, err)
+			return
+		}
+		m.finalize(job, StateDone, nil)
+	}
+}
+
+// runRanks is the per-rank body of one run attempt. Everything here is
+// lockstep: the stop flag is read by rank 0 and broadcast, so all ranks
+// agree on every branch; status lines and checkpoints are collectives
+// driven by deterministic step counts. Rank 0 alone touches the job
+// record, the store and the hub.
+func (m *Manager) runRanks(c *mpi.Comm, job *Job, pool *par.Pool, reg *telemetry.Registry, trc *trace.Trace, res *runResult) {
+	sp := job.Spec
+	root := c.Rank() == 0
+	cfg := sp.Config(pool, reg, trc)
+	wl, err := core.NewWorkload(c, cfg)
+	if err != nil {
+		// Construction is deterministic in cfg: every rank fails alike.
+		if root {
+			res.err = err
+		}
+		return
+	}
+	var solver *core.Solver
+	if c.Size() == 1 {
+		if cf, ok := wl.(core.ChannelFlow); ok {
+			solver = cf.ChannelSolver()
+		}
+	}
+	store := wl.NewCheckpointStore(m.store.CkptDir(job.ID), sp.CkptKeep)
+
+	// A fresh job has no checkpoint and seeds the canonical initial
+	// condition; a recovered or resumed one continues from its latest
+	// manifest (falling back past corrupt checkpoints inside Resume).
+	switch name, rerr := wl.ResumeLatest(store); {
+	case rerr == nil:
+		if root {
+			st := job.update(func(s *Status) {
+				s.Resumes++
+				s.Checkpoint = name
+				s.Step = wl.CurrentStep()
+				s.Time = wl.CurrentTime()
+				s.Dt = wl.CurrentDt()
+			})
+			m.persist(job.ID, st)
+			job.Hub.Publish(EventStatus, st)
+			m.opts.Logf("%s: resumed from %s (step %d, t=%.6g)",
+				RunID(job.ID), name, wl.CurrentStep(), wl.CurrentTime())
+		}
+	case errors.Is(rerr, ckpt.ErrNoCheckpoint):
+		wl.InitDefault(sp.Perturb, sp.Seed)
+	default:
+		if root {
+			res.err = fmt.Errorf("resume: %w", rerr)
+		}
+		return
+	}
+
+	prevSnap := reg.Snapshot()
+	writeCkpt := func() bool {
+		name, cerr := wl.WriteCheckpoint(store)
+		if cerr != nil {
+			if root {
+				res.err = fmt.Errorf("checkpoint: %w", cerr)
+			}
+			return false
+		}
+		if root {
+			st := job.update(func(s *Status) {
+				s.Checkpoint = name
+				s.Step = wl.CurrentStep()
+				s.Time = wl.CurrentTime()
+				s.Dt = wl.CurrentDt()
+			})
+			m.persist(job.ID, st)
+		}
+		return true
+	}
+	statusTick := func() {
+		line := wl.StatusLine() // collective: all ranks call
+		if !root {
+			return
+		}
+		st := job.update(func(s *Status) {
+			s.Step = wl.CurrentStep()
+			s.Time = wl.CurrentTime()
+			s.Dt = wl.CurrentDt()
+			s.Line = line
+		})
+		m.persist(job.ID, st)
+		job.Hub.Publish(EventStatus, st)
+		cur := reg.Snapshot()
+		if d := telemetry.DeltaSnapshot(&prevSnap, &cur); !d.Empty() {
+			job.Hub.Publish(EventTelemetry, d)
+		}
+		prevSnap = cur
+	}
+
+	lastCkpt := -1
+	stopped := stopNone // per-rank copy of the broadcast stop decision
+	for wl.CurrentStep() < sp.Steps {
+		flag := stopNone
+		if root {
+			flag = job.stop.Load()
+		}
+		flag = int32(mpi.Bcast(c, 0, []int{int(flag)})[0])
+		if flag != stopNone {
+			stopped = flag
+			if root {
+				res.stopped = flag
+			}
+			if flag == stopCrash {
+				return // abort without any checkpoint or status write
+			}
+			break
+		}
+		if sp.TargetCFL > 0 {
+			wl.AdvanceAdaptive(1, sp.TargetCFL, 5)
+		} else {
+			wl.StepOnce()
+		}
+		n := wl.CurrentStep()
+		final := n >= sp.Steps
+		if (sp.CkptEvery > 0 && n%sp.CkptEvery == 0 && n != lastCkpt) || (final && n != lastCkpt) {
+			if !writeCkpt() {
+				return
+			}
+			lastCkpt = n
+		}
+		if n%sp.StatusEvery == 0 || final {
+			statusTick()
+		}
+		if solver != nil && sp.PlaneEvery > 0 && n%sp.PlaneEvery == 0 {
+			png, frame := renderPlane(solver, n)
+			job.plane.Store(&planeData{png: png, frame: frame})
+			job.Hub.Publish(EventPlane, frame)
+		}
+		if sp.StepDelayMs > 0 {
+			time.Sleep(time.Duration(sp.StepDelayMs) * time.Millisecond)
+		}
+	}
+	// A cancel, pause or drain parks the run resumably: checkpoint before
+	// stopping (the step loop's broadcast means every rank agrees).
+	if stopped != stopNone && wl.CurrentStep() != lastCkpt {
+		writeCkpt()
+	}
+}
+
+// persist writes status.json, logging (not failing) on error — the
+// in-memory status remains authoritative while the server lives.
+func (m *Manager) persist(id int, st Status) {
+	if err := m.store.WriteStatus(id, st); err != nil {
+		m.opts.Logf("%s: persist status: %v", RunID(id), err)
+	}
+}
+
+// writeArtifacts stores the final BENCH report (and trace, if recorded)
+// of a completed job.
+func (m *Manager) writeArtifacts(job *Job, trc *trace.Trace) error {
+	dir := m.store.Dir(job.ID)
+	rep := job.LiveReport()
+	if rep != nil {
+		if err := rep.WriteFile(filepath.Join(dir, "report.json")); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	if trc != nil {
+		if err := trc.WriteChromeFile(filepath.Join(dir, "trace.json")); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// finalize moves a job to its post-run state, persists it, tells the
+// watchers, and (for terminal states) closes the stream and applies
+// retention. Paused jobs keep their hub open for the resume.
+func (m *Manager) finalize(job *Job, state string, cause error) {
+	now := time.Now().UTC()
+	st := job.update(func(s *Status) {
+		s.State = state
+		if cause != nil {
+			s.Error = cause.Error()
+		}
+		if terminalState(state) {
+			s.Finished = &now
+		}
+	})
+	m.persist(job.ID, st)
+	job.Hub.Publish(EventState, st)
+	if state != StatePaused {
+		job.Hub.Close()
+	}
+	if cause != nil {
+		m.opts.Logf("%s: %s: %v", st.ID, state, cause)
+	} else {
+		m.opts.Logf("%s: %s at step %d", st.ID, state, st.Step)
+	}
+	if terminalState(state) && m.opts.Keep > 0 {
+		if _, err := m.store.Prune(m.opts.Keep); err != nil {
+			m.opts.Logf("prune: %v", err)
+		}
+		m.mu.Lock()
+		for id := range m.jobs {
+			if id == job.ID {
+				continue
+			}
+			// Drop map entries whose directories were pruned.
+			if _, err := m.store.LoadStatus(id); err != nil {
+				delete(m.jobs, id)
+			}
+		}
+		m.mu.Unlock()
+	}
+}

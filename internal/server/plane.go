@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+
+	"channeldns/internal/core"
+)
+
+// Live field-plane frames: for single-rank channel-based workloads the
+// run loop renders the mid-channel streamwise-velocity plane to a
+// grayscale PNG between steps and publishes it two ways — the latest
+// frame is served whole on GET /v1/jobs/{id}/plane.png, and a small
+// PlaneFrame descriptor (step + extrema, not the pixels) rides the event
+// stream so watchers know when to re-fetch. Shipping pixels by reference
+// keeps the stream cheap for watchers that only want numbers.
+
+// PlaneFrame is the stream-side descriptor of a rendered plane.
+type PlaneFrame struct {
+	Step int     `json:"step"`
+	Comp string  `json:"comp"`
+	Yi   int     `json:"yi"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// W and H are the PNG dimensions (physical-grid MX x MZ).
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+// renderPlane extracts the mid-channel streamwise-velocity plane from a
+// single-rank channel solver and encodes it as a grayscale PNG, linearly
+// mapping [min, max] to [0, 255]. Returns the PNG bytes and the frame
+// descriptor.
+func renderPlane(s *core.Solver, step int) ([]byte, PlaneFrame) {
+	yi := s.Cfg.Ny / 2
+	plane := s.PhysicalPlane(core.CompU, yi)
+	h := len(plane)
+	w := 0
+	if h > 0 {
+		w = len(plane[0])
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range plane {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for z, row := range plane {
+		for x, v := range row {
+			img.SetGray(x, z, color.Gray{Y: uint8(math.Round(min(255, max(0, (v-lo)*scale))))})
+		}
+	}
+	var buf bytes.Buffer
+	// Encoding a tiny grayscale image cannot fail into a bytes.Buffer.
+	_ = png.Encode(&buf, img)
+	return buf.Bytes(), PlaneFrame{
+		Step: step, Comp: "u", Yi: yi, Min: lo, Max: hi, W: w, H: h,
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server ties the manager and API to a listener with a graceful
+// shutdown path: Close drains the manager (running jobs checkpoint and
+// park as "interrupted") and then shuts the HTTP side down, so a SIGTERM
+// never loses more than the steps since the last checkpoint — and the
+// next start recovers even those runs and finishes them.
+type Server struct {
+	Manager *Manager
+	API     *API
+
+	http *http.Server
+	ln   net.Listener
+}
+
+// New builds a server over a run store at dir. Recover is called before
+// the listener opens, so recovered jobs are already queued when the
+// first request lands.
+func New(dir string, opts Options) (*Server, error) {
+	m, err := NewManager(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Recover(); err != nil {
+		return nil, err
+	}
+	api := NewAPI(m)
+	return &Server{
+		Manager: m,
+		API:     api,
+		http: &http.Server{
+			Handler:           api.Routes(),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}, nil
+}
+
+// Listen binds addr (e.g. "localhost:0") and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve runs the HTTP loop until Close; it returns nil on graceful
+// shutdown. Listen must have succeeded first.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	if err := s.http.Serve(s.ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Close drains jobs, then the HTTP server, honoring ctx as the deadline
+// for both.
+func (s *Server) Close(ctx context.Context) error {
+	drainErr := s.Manager.Drain(ctx)
+	httpErr := s.http.Shutdown(ctx)
+	if drainErr != nil {
+		return drainErr
+	}
+	return httpErr
+}

@@ -1,0 +1,657 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"channeldns/internal/ckpt"
+	"channeldns/internal/telemetry"
+)
+
+// smallSpec is the test workhorse: a tiny fixed-dt channel job that
+// checkpoints often. Fixed dt (no target_cfl) is what makes interrupted
+// trajectories bit-identical on resume.
+func smallSpec(steps int) JobSpec {
+	return JobSpec{
+		Nx: 16, Ny: 24, Nz: 16,
+		Dt: 1e-3, Steps: steps,
+		CkptEvery: 2, StatusEvery: 2, PlaneEvery: 3,
+	}
+}
+
+func newTestManager(t *testing.T, dir string, opts Options) *Manager {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	m, err := NewManager(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// waitState polls until the job reaches the wanted state or the deadline
+// passes.
+func waitState(t *testing.T, job *Job, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := job.Status()
+		if st.State == want {
+			return st
+		}
+		if terminalState(st.State) && st.State != want {
+			t.Fatalf("job reached terminal state %q (error %q), want %q", st.State, st.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job stuck in %q, want %q", job.Status().State, want)
+	return Status{}
+}
+
+// drainManager shuts the manager down, requiring it to finish in time.
+func drainManager(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestJobLifecycle: a submitted job runs to completion, checkpoints,
+// streams status/telemetry/plane events, persists a bench-valid report,
+// and ends with a closed stream.
+func TestJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, Options{})
+	defer drainManager(t, m)
+
+	job, err := m.Submit(smallSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := job.Hub.Subscribe()
+	if w == nil {
+		t.Fatal("could not subscribe to a fresh job")
+	}
+	st := waitState(t, job, StateDone)
+
+	if st.Step != 6 {
+		t.Errorf("final step %d, want 6", st.Step)
+	}
+	if st.Line == "" || !strings.Contains(st.Line, "step") {
+		t.Errorf("status line %q, want a solver status line", st.Line)
+	}
+	if st.Checkpoint == "" {
+		t.Error("no checkpoint recorded in final status")
+	}
+	if st.Finished == nil {
+		t.Error("terminal status without finished timestamp")
+	}
+
+	// The stream closed (terminal state) after carrying all event types.
+	types := map[string]int{}
+	for ev := range w.C {
+		types[ev.Type]++
+	}
+	for _, typ := range []string{EventState, EventStatus, EventTelemetry, EventPlane} {
+		if types[typ] == 0 {
+			t.Errorf("stream carried no %q events (saw %v)", typ, types)
+		}
+	}
+	if w.Dropped() {
+		t.Error("patient watcher marked dropped")
+	}
+
+	// The persisted artifacts: status, final checkpoint, bench-valid report.
+	diskSt, err := m.Store().LoadStatus(job.ID)
+	if err != nil || diskSt.State != StateDone {
+		t.Errorf("persisted status %+v, err %v, want done", diskSt, err)
+	}
+	name, man, err := ckpt.LatestManifest(m.Store().CkptDir(job.ID))
+	if err != nil || man.Step != 6 {
+		t.Errorf("latest checkpoint %q step %v err %v, want step 6", name, man, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(m.Store().Dir(job.ID), "report.json"))
+	if err != nil {
+		t.Fatalf("report.json: %v", err)
+	}
+	rep, err := telemetry.ValidateJSON(raw)
+	if err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if err := rep.CheckScheduleConsistency(); err != nil {
+		t.Errorf("report schedule consistency: %v", err)
+	}
+	if err := rep.CheckCheckpointIO(); err != nil {
+		t.Errorf("report checkpoint accounting: %v", err)
+	}
+	if rep.Table != "serve" {
+		t.Errorf("report table %q, want serve", rep.Table)
+	}
+
+	// The rendered plane is a real PNG of the dealiased physical grid.
+	png, frame, ok := job.Plane()
+	if !ok {
+		t.Fatal("no plane rendered for a single-rank channel job")
+	}
+	if !bytes.HasPrefix(png, []byte("\x89PNG")) {
+		t.Error("plane payload is not a PNG")
+	}
+	if frame.W == 0 || frame.H == 0 || frame.Step == 0 {
+		t.Errorf("degenerate plane frame %+v", frame)
+	}
+}
+
+// TestCrashRecoveryBitIdentical is the acceptance test for crash-safe
+// resume: a job checkpointed mid-flight, its server killed (simulated
+// kill -9: the run aborts writing nothing, leaving status.json claiming
+// "running"), a new server on the same store auto-resumes it — and the
+// completed trajectory is bit-identical to an uninterrupted run of the
+// same spec: same manifest position, same shard checksums, same shard
+// bytes.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	// Reference: the uninterrupted run.
+	refDir := t.TempDir()
+	mRef := newTestManager(t, refDir, Options{})
+	refJob, err := mRef.Submit(smallSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, refJob, StateDone)
+	drainManager(t, mRef)
+
+	// The victim: same physics, throttled so the crash lands mid-flight.
+	crashDir := t.TempDir()
+	m1 := newTestManager(t, crashDir, Options{})
+	spec := smallSpec(10)
+	spec.StepDelayMs = 50
+	job, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first published checkpoint manifest, then pull the plug.
+	ckptDir := m1.Store().CkptDir(job.ID)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, _, err := ckpt.LatestManifest(ckptDir); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint manifest appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	job.requestStop(stopCrash)
+	drainManager(t, m1)
+
+	// The on-disk record must look exactly like an abrupt death: status
+	// still claims "running", mid-flight.
+	diskSt, err := m1.Store().LoadStatus(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diskSt.State != StateRunning {
+		t.Fatalf("crashed run persisted state %q, want %q (crash must not finalize)", diskSt.State, StateRunning)
+	}
+	if diskSt.Step >= 10 {
+		t.Fatalf("crash landed after completion (step %d); raise the throttle", diskSt.Step)
+	}
+
+	// Restart: recovery must find the run and finish it without any client
+	// involvement.
+	m2 := newTestManager(t, crashDir, Options{})
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	job2, ok := m2.Get(job.ID)
+	if !ok {
+		t.Fatal("recovered manager does not know the crashed job")
+	}
+	st := waitState(t, job2, StateDone)
+	if st.Resumes < 1 {
+		t.Errorf("recovered job reports %d resumes, want >= 1", st.Resumes)
+	}
+	drainManager(t, m2)
+
+	// Bit-identity against the reference.
+	refName, refMan, err := ckpt.LatestManifest(mRef.Store().CkptDir(refJob.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotName, gotMan, err := ckpt.LatestManifest(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotName != refName || gotMan.Step != refMan.Step {
+		t.Fatalf("final checkpoint %s step %d, reference %s step %d",
+			gotName, gotMan.Step, refName, refMan.Step)
+	}
+	if gotMan.Time != refMan.Time || gotMan.Dt != refMan.Dt {
+		t.Errorf("resumed trajectory diverged: t=%v dt=%v, reference t=%v dt=%v",
+			gotMan.Time, gotMan.Dt, refMan.Time, refMan.Dt)
+	}
+	if len(gotMan.Shards) != len(refMan.Shards) {
+		t.Fatalf("%d shards vs reference %d", len(gotMan.Shards), len(refMan.Shards))
+	}
+	for i, sh := range gotMan.Shards {
+		ref := refMan.Shards[i]
+		if sh.CRC32C != ref.CRC32C || sh.Bytes != ref.Bytes {
+			t.Errorf("shard %d: crc %s (%d bytes) vs reference %s (%d bytes): not bit-identical",
+				i, sh.CRC32C, sh.Bytes, ref.CRC32C, ref.Bytes)
+		}
+		got, err := os.ReadFile(filepath.Join(ckptDir, gotName, sh.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(mRef.Store().CkptDir(refJob.ID), refName, ref.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("shard %d: raw bytes differ from the uninterrupted run", i)
+		}
+	}
+}
+
+// TestCancelWritesCheckpoint: cancelling a running job stops it at a step
+// boundary with a fresh checkpoint and a terminal, closed stream.
+func TestCancelWritesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, Options{})
+	defer drainManager(t, m)
+	spec := smallSpec(1000) // far more steps than we let it take
+	spec.StepDelayMs = 10
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateRunning)
+	time.Sleep(50 * time.Millisecond)
+	if err := m.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, job, StateCancelled)
+	if st.Step >= 1000 {
+		t.Error("cancel did not interrupt the run")
+	}
+	name, man, err := ckpt.LatestManifest(m.Store().CkptDir(job.ID))
+	if err != nil {
+		t.Fatalf("cancelled run has no checkpoint: %v", err)
+	}
+	if int(man.Step) != st.Step {
+		t.Errorf("pre-stop checkpoint %s at step %d, status says %d", name, man.Step, st.Step)
+	}
+	// The hub closes just after the status flips terminal; give it a beat.
+	closedBy := time.Now().Add(5 * time.Second)
+	for !job.Hub.Closed() {
+		if time.Now().After(closedBy) {
+			t.Fatal("hub still open after a terminal state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPauseResume: pause parks the job resumably with its hub open;
+// resume continues from the pause checkpoint to completion.
+func TestPauseResume(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, Options{})
+	defer drainManager(t, m)
+	spec := smallSpec(12)
+	spec.StepDelayMs = 10
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := job.Hub.Subscribe()
+	go func() {
+		for range w.C {
+		}
+	}()
+	waitState(t, job, StateRunning)
+	time.Sleep(30 * time.Millisecond)
+	if err := m.Pause(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, job, StatePaused)
+	if st.Step >= 12 {
+		t.Fatal("pause landed after completion; raise the throttle")
+	}
+	if job.Hub.Closed() {
+		t.Error("pause closed the hub; watchers must ride through the resume")
+	}
+	pausedAt := st.Step
+
+	if err := m.Resume(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, job, StateDone)
+	if st.Step != 12 {
+		t.Errorf("resumed job finished at step %d, want 12", st.Step)
+	}
+	if st.Resumes < 1 {
+		t.Errorf("resumed job reports %d resumes, want >= 1", st.Resumes)
+	}
+	if st.Step <= pausedAt {
+		t.Error("no progress after resume")
+	}
+}
+
+// TestSubmitValidation: doomed specs are rejected at the door, not
+// queued.
+func TestSubmitValidation(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Options{})
+	defer drainManager(t, m)
+	for _, tc := range []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unknown workload", JobSpec{Workload: "warp-drive", Nx: 16, Ny: 24, Nz: 16, Steps: 1}},
+		{"odd nx", JobSpec{Nx: 15, Ny: 24, Nz: 16, Steps: 1}},
+		{"zero steps", JobSpec{Nx: 16, Ny: 24, Nz: 16}},
+		{"negative dt", JobSpec{Nx: 16, Ny: 24, Nz: 16, Steps: 1, Dt: -1}},
+		{"bad form", JobSpec{Nx: 16, Ny: 24, Nz: 16, Steps: 1, Form: "rotational"}},
+		{"negative delay", JobSpec{Nx: 16, Ny: 24, Nz: 16, Steps: 1, StepDelayMs: -5}},
+	} {
+		if _, err := m.Submit(tc.spec); err == nil {
+			t.Errorf("%s: submitted without error", tc.name)
+		}
+	}
+	if _, total := m.List(0, 0); total != 0 {
+		t.Errorf("%d jobs queued from invalid specs", total)
+	}
+}
+
+// TestConstructionFailureFailsJob: specs that pass static validation but
+// cannot construct (Ny below the B-spline degree floor) fail the job with
+// a stored error instead of wedging a worker.
+func TestConstructionFailureFailsJob(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Options{})
+	defer drainManager(t, m)
+	job, err := m.Submit(JobSpec{Nx: 16, Ny: 6, Nz: 16, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, job, StateFailed)
+	if st.Error == "" {
+		t.Error("failed job carries no error")
+	}
+}
+
+// TestAPI drives the full HTTP surface end to end against a live
+// httptest server: submit, list, get, long-poll stream, SSE stream,
+// report, plane, metrics, cancel.
+func TestAPI(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Options{})
+	defer drainManager(t, m)
+	ts := httptest.NewServer(NewAPI(m).Routes())
+	defer ts.Close()
+
+	// Bad spec → 400 with a JSON error.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"nx":15}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid submit: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown field → 400 (strict decoding).
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"nx":16,"ny":24,"nz":16,"steps":2,"ckpt_evry":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("typoed field: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Good spec → 201 with the queued status.
+	spec, _ := json.Marshal(smallSpec(6))
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("submit: status %d id %q, want 201 with an id", resp.StatusCode, st.ID)
+	}
+
+	// SSE: attach while running, read until the terminal "end" marker.
+	sseDone := make(chan map[string]int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+		if err != nil {
+			sseDone <- nil
+			return
+		}
+		defer resp.Body.Close()
+		types := map[string]int{}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if name, ok := strings.CutPrefix(line, "event: "); ok {
+				types[name]++
+			}
+		}
+		sseDone <- types
+	}()
+
+	// Long-poll until done, following the seq cursor.
+	var after uint64
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream?after=%d&wait=2s", ts.URL, st.ID, after))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch struct {
+			Events []Event `json:"events"`
+			Open   bool    `json:"open"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, ev := range batch.Events {
+			if ev.Seq <= after {
+				t.Errorf("long-poll replayed seq %d at cursor %d", ev.Seq, after)
+			}
+			after = ev.Seq
+		}
+		if !batch.Open {
+			break
+		}
+	}
+
+	// The SSE side saw the same stream end.
+	select {
+	case types := <-sseDone:
+		if types == nil {
+			t.Fatal("SSE request failed")
+		}
+		if types["end"] == 0 {
+			t.Errorf("SSE stream missing end marker: %v", types)
+		}
+		if types[EventStatus] == 0 {
+			t.Errorf("SSE stream carried no status events: %v", types)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SSE stream did not terminate with the job")
+	}
+
+	// GET status, report, plane, list, metrics.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.State != StateDone {
+		t.Fatalf("job state %q, want done", st.State)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rawRep bytes.Buffer
+	rawRep.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d", resp.StatusCode)
+	}
+	if _, err := telemetry.ValidateJSON(rawRep.Bytes()); err != nil {
+		t.Errorf("served report invalid: %v", err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/plane.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pngBuf bytes.Buffer
+	pngBuf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.HasPrefix(pngBuf.Bytes(), []byte("\x89PNG")) {
+		t.Errorf("plane.png: status %d, %d bytes", resp.StatusCode, pngBuf.Len())
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs?limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs  []Status `json:"jobs"`
+		Total int      `json:"total"`
+	}
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if list.Total != 1 || len(list.Jobs) != 1 {
+		t.Errorf("list: total %d with %d jobs, want 1/1", list.Total, len(list.Jobs))
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(metrics.String(), `dnsserve_jobs{state="done"} 1`) {
+		t.Errorf("metrics missing done-job gauge:\n%s", metrics.String())
+	}
+
+	// DELETE on a finished job is a accepted no-op; on an unknown id, 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("cancel finished job: status %d, want 202", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIsotropicJob: the registry integration is workload-agnostic — an
+// isotropic job runs, checkpoints, and finishes without channel-specific
+// features (no plane frames).
+func TestIsotropicJob(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Options{})
+	defer drainManager(t, m)
+	job, err := m.Submit(JobSpec{
+		Workload: "isotropic", Nx: 16, Ny: 16, Nz: 16,
+		ReTau: 100, Dt: 1e-3, Steps: 4, CkptEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, job, StateDone)
+	if st.Step != 4 {
+		t.Errorf("final step %d, want 4", st.Step)
+	}
+	if _, _, ok := job.Plane(); ok {
+		t.Error("isotropic job rendered a channel plane")
+	}
+	if _, man, err := ckpt.LatestManifest(m.Store().CkptDir(job.ID)); err != nil || man.Workload != "isotropic" {
+		t.Errorf("isotropic checkpoint: %+v, err %v", man, err)
+	}
+}
+
+// TestDiscoverRunsAndPrune: the discovery primitive `ckpt ls -runs` and
+// restart recovery share, plus retention keeping non-terminal runs safe.
+func TestDiscoverRunsAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, Options{})
+	ids := make([]*Job, 3)
+	for i := range ids {
+		var err error
+		ids[i], err = m.Submit(smallSpec(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, ids[i], StateDone)
+	}
+	drainManager(t, m)
+
+	runs, err := DiscoverRuns(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("discovered %d runs, want 3", len(runs))
+	}
+	for i, ri := range runs {
+		if ri.ID != i {
+			t.Errorf("run %d has id %d (want ascending ids)", i, ri.ID)
+		}
+		if ri.Status.State != StateDone || ri.Resumable() {
+			t.Errorf("run %d: state %q resumable=%v, want done/false", i, ri.Status.State, ri.Resumable())
+		}
+		if ri.Manifest == nil || ri.Manifest.Step != 2 {
+			t.Errorf("run %d: latest manifest %+v, want step 2", i, ri.Manifest)
+		}
+		if ri.Spec.Nx != 16 {
+			t.Errorf("run %d: spec not recovered: %+v", i, ri.Spec)
+		}
+	}
+
+	rs, _ := NewRunStore(dir)
+	removed, err := rs.Prune(1)
+	if err != nil || removed != 2 {
+		t.Fatalf("prune: removed %d err %v, want 2", removed, err)
+	}
+	runs, _ = DiscoverRuns(dir)
+	if len(runs) != 1 || runs[0].ID != 2 {
+		t.Errorf("after prune: %d runs (first id %d), want newest survivor only", len(runs), runs[0].ID)
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+// Snapshot deltas: the job server's stream layer ships telemetry to many
+// concurrent watchers at step cadence. Re-sending the whole aggregated
+// Snapshot every few steps wastes most of the bytes on counters that did
+// not move (a small grid exercises a handful of phases), so the stream
+// carries only what changed since the previous snapshot. Deltas compose:
+// applying a sequence of deltas to the base snapshot reconstructs the
+// totals, and a watcher that joins late simply starts from the next full
+// values it cares about (every delta also carries the current cumulative
+// step count, so gaps are detectable).
+
+// PhaseDelta is one phase's movement between two snapshots.
+type PhaseDelta struct {
+	Phase string `json:"phase"`
+	// Calls and Seconds are increments (calls, rank-seconds of TotalSeconds).
+	Calls   int64   `json:"calls"`
+	Seconds float64 `json:"seconds"`
+}
+
+// CommDelta is one communication channel's movement between two snapshots.
+type CommDelta struct {
+	Op       string `json:"op"`
+	Calls    int64  `json:"calls"`
+	Messages int64  `json:"messages,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+}
+
+// SnapshotDelta is the movement between two snapshots of the same
+// registry. Zero-movement phases and channels are omitted; Steps and
+// StepSeconds carry the *cumulative* values of the newer snapshot (cheap,
+// and they make each delta self-positioning for late joiners).
+type SnapshotDelta struct {
+	// Steps is the cumulative recorded step count at the newer snapshot;
+	// DSteps the increment since the older one.
+	Steps  int64 `json:"steps"`
+	DSteps int64 `json:"d_steps,omitempty"`
+	// MeanStepSeconds is the newer snapshot's cumulative per-rank mean.
+	MeanStepSeconds float64      `json:"mean_step_seconds,omitempty"`
+	DFlops          int64        `json:"d_flops,omitempty"`
+	Phases          []PhaseDelta `json:"phases,omitempty"`
+	Comm            []CommDelta  `json:"comm,omitempty"`
+}
+
+// Empty reports whether the delta carries no movement at all (nothing
+// worth streaming).
+func (d *SnapshotDelta) Empty() bool {
+	return d.DSteps == 0 && d.DFlops == 0 && len(d.Phases) == 0 && len(d.Comm) == 0
+}
+
+// DeltaSnapshot computes the movement from prev to cur. Both snapshots
+// must come from the same registry with prev taken first; counters are
+// monotonic, so every increment is non-negative. Entries present only in
+// cur (a phase first exercised between the snapshots) delta from zero.
+func DeltaSnapshot(prev, cur *Snapshot) SnapshotDelta {
+	d := SnapshotDelta{
+		Steps:           cur.Steps,
+		DSteps:          cur.Steps - prev.Steps,
+		MeanStepSeconds: cur.MeanStepSeconds,
+		DFlops:          cur.Flops - prev.Flops,
+	}
+	prevPhases := make(map[string]PhaseStats, len(prev.Phases))
+	for _, p := range prev.Phases {
+		prevPhases[p.Phase] = p
+	}
+	for _, p := range cur.Phases {
+		pp := prevPhases[p.Phase] // zero value when newly exercised
+		if dc := p.Calls - pp.Calls; dc != 0 {
+			d.Phases = append(d.Phases, PhaseDelta{
+				Phase:   p.Phase,
+				Calls:   dc,
+				Seconds: p.TotalSeconds - pp.TotalSeconds,
+			})
+		}
+	}
+	prevComm := make(map[string]CommStats, len(prev.Comm))
+	for _, c := range prev.Comm {
+		prevComm[c.Op] = c
+	}
+	for _, c := range cur.Comm {
+		pc := prevComm[c.Op]
+		if dc := c.Calls - pc.Calls; dc != 0 {
+			d.Comm = append(d.Comm, CommDelta{
+				Op:       c.Op,
+				Calls:    dc,
+				Messages: c.Messages - pc.Messages,
+				Bytes:    c.Bytes - pc.Bytes,
+			})
+		}
+	}
+	return d
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestDeltaSnapshot: movement between two snapshots carries exactly the
+// changed phases and comm channels, with increments that reconcile the
+// absolute counters.
+func TestDeltaSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Rank(0)
+
+	sp := c.Begin(PhaseNonlinear)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	c.AddComm(CommYtoZ, 1000, 3)
+	c.StepDone(2 * time.Millisecond)
+	c.AddFlops(500)
+
+	prev := reg.Snapshot()
+
+	// Move one existing phase, exercise a new one, and one comm channel.
+	sp = c.Begin(PhaseNonlinear)
+	sp.End()
+	sp = c.Begin(PhaseViscousSolve)
+	sp.End()
+	c.AddComm(CommYtoZ, 200, 1)
+	c.StepDone(time.Millisecond)
+	c.AddFlops(500)
+
+	cur := reg.Snapshot()
+	d := DeltaSnapshot(&prev, &cur)
+
+	if d.Empty() {
+		t.Fatal("delta between moved snapshots reports Empty")
+	}
+	if d.DSteps != 1 || d.Steps != 2 {
+		t.Errorf("steps delta: got DSteps=%d Steps=%d, want 1, 2", d.DSteps, d.Steps)
+	}
+	if d.DFlops != 500 {
+		t.Errorf("flops delta: got %d, want 500", d.DFlops)
+	}
+	phases := map[string]PhaseDelta{}
+	for _, p := range d.Phases {
+		phases[p.Phase] = p
+	}
+	nl, ok := phases[PhaseNonlinear.String()]
+	if !ok || nl.Calls != 1 {
+		t.Errorf("nonlinear phase delta: got %+v (present=%v), want 1 call", nl, ok)
+	}
+	if nl.Seconds <= 0 {
+		t.Errorf("nonlinear seconds increment %.9f, want > 0", nl.Seconds)
+	}
+	vs, ok := phases[PhaseViscousSolve.String()]
+	if !ok || vs.Calls != 1 {
+		t.Errorf("newly exercised phase delta: got %+v (present=%v), want 1 call", vs, ok)
+	}
+	if len(d.Comm) != 1 || d.Comm[0].Op != CommYtoZ.String() ||
+		d.Comm[0].Bytes != 200 || d.Comm[0].Messages != 1 || d.Comm[0].Calls != 1 {
+		t.Errorf("comm delta: got %+v, want one YtoZ entry with 1 call / 1 msg / 200 bytes", d.Comm)
+	}
+}
+
+// TestDeltaSnapshotIdempotent: no movement means an Empty delta with no
+// phase or comm entries — the stream layer's "nothing to send" signal.
+func TestDeltaSnapshotIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Rank(0)
+	sp := c.Begin(PhaseFFTForward)
+	sp.End()
+	c.StepDone(time.Millisecond)
+
+	snap := reg.Snapshot()
+	d := DeltaSnapshot(&snap, &snap)
+	if !d.Empty() {
+		t.Fatalf("self-delta not empty: %+v", d)
+	}
+	if len(d.Phases) != 0 || len(d.Comm) != 0 {
+		t.Fatalf("self-delta carries entries: %+v", d)
+	}
+	// Cumulative position is still stamped for late joiners.
+	if d.Steps != 1 {
+		t.Errorf("self-delta Steps = %d, want cumulative 1", d.Steps)
+	}
+}
+
+// TestDeltaSnapshotJSONCompact: the wire encoding omits unmoved sections
+// entirely (the reason deltas exist).
+func TestDeltaSnapshotJSONCompact(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Rank(0)
+	c.StepDone(time.Millisecond)
+	prev := reg.Snapshot()
+	c.StepDone(time.Millisecond)
+	cur := reg.Snapshot()
+
+	b, err := json.Marshal(DeltaSnapshot(&prev, &cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"phases", "comm", "d_flops"} {
+		if jsonHasKey(b, forbidden) {
+			t.Errorf("unmoved section %q present in %s", forbidden, b)
+		}
+	}
+}
+
+func jsonHasKey(b []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

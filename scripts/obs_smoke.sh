@@ -48,9 +48,11 @@ done
 
 # Scrape the world dashboard mid-run: the first heartbeat gather lands
 # after a couple of steps, so retry until per-rank step counters appear.
+# Match an actual series sample ("{rank=...}"), not the # HELP line the
+# endpoint serves before any heartbeat has been heard.
 i=0
 until curl -sf "http://$addr/metrics" > "$dir/metrics.out" 2> /dev/null \
-    && grep -q 'channeldns_rank_steps_total' "$dir/metrics.out"; do
+    && grep -q 'channeldns_rank_steps_total{' "$dir/metrics.out"; do
     if ! kill -0 "$pid" 2> /dev/null; then
         echo "obs-smoke: run ended before /metrics showed rank step counters" >&2
         cat "$dir/run.out" >&2

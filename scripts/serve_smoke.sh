@@ -1,0 +1,141 @@
+#!/bin/sh
+# serve-smoke: the DNS-as-a-service CI drill. Start dnsserve, submit a
+# throttled channel job and an isotropic job over the HTTP API, attach two
+# stream watchers, and SIGKILL the server the moment the channel job's
+# first checkpoint manifest is published. A fresh server on the same run
+# store must rediscover the interrupted job from its on-disk record,
+# auto-resume it from the checkpoint, and run every job to completion; the
+# stored BENCH reports must pass bench-validate, the stream watchers must
+# have seen live status events, and a final SIGTERM must drain cleanly.
+set -eu
+
+GO=${GO:-go}
+dir=.serve-smoke
+rm -rf "$dir"
+mkdir -p "$dir"
+$GO build -o "$dir/dnsserve" ./cmd/dnsserve
+
+data="$dir/runs"
+
+start_server() {
+    rm -f "$dir/addr"
+    "$dir/dnsserve" -listen localhost:0 -data "$data" -addr-file "$dir/addr" \
+        > "$dir/server$1.log" 2>&1 &
+    pid=$!
+    i=0
+    until [ -s "$dir/addr" ]; do
+        if ! kill -0 "$pid" 2> /dev/null; then
+            echo "serve-smoke: server $1 died on startup" >&2
+            cat "$dir/server$1.log" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-smoke: server $1 never wrote its address" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(cat "$dir/addr")
+}
+
+# job_id FILE: pull the job id out of a submit response.
+job_id() {
+    sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$1" | head -n 1
+}
+
+# wait_done ID: poll one job's status until it reports done.
+wait_done() {
+    i=0
+    while true; do
+        curl -s "http://$addr/v1/jobs/$1" > "$dir/status.json"
+        if grep -q '"state": *"done"' "$dir/status.json"; then
+            return 0
+        fi
+        if grep -q '"state": *"failed"\|"state": *"cancelled"' "$dir/status.json"; then
+            echo "serve-smoke: job $1 went terminal without finishing:" >&2
+            cat "$dir/status.json" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 600 ]; then
+            echo "serve-smoke: job $1 did not finish in 60s:" >&2
+            cat "$dir/status.json" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+start_server 1
+
+# A throttled channel job (the crash victim: slow enough that the SIGKILL
+# lands mid-flight, checkpointing every 2 steps) and a quick isotropic job
+# (exercises the registry's workload dispatch end to end).
+curl -s -d '{"nx":16,"ny":24,"nz":16,"steps":30,"ckpt_every":2,"step_delay_ms":25}' \
+    "http://$addr/v1/jobs" > "$dir/submit_channel.json"
+curl -s -d '{"workload":"isotropic","nx":16,"ny":16,"nz":16,"re_tau":100,"steps":6,"ckpt_every":2}' \
+    "http://$addr/v1/jobs" > "$dir/submit_iso.json"
+chan=$(job_id "$dir/submit_channel.json")
+iso=$(job_id "$dir/submit_iso.json")
+if [ -z "$chan" ] || [ -z "$iso" ]; then
+    echo "serve-smoke: submit failed" >&2
+    cat "$dir/submit_channel.json" "$dir/submit_iso.json" >&2
+    exit 1
+fi
+
+# Two live stream watchers on the channel job. They die with the SIGKILL;
+# their captured output must show real status events.
+curl -s -N "http://$addr/v1/jobs/$chan/stream" > "$dir/watch1.out" 2> /dev/null &
+curl -s -N "http://$addr/v1/jobs/$chan/stream" > "$dir/watch2.out" 2> /dev/null &
+
+# A checkpoint is published by its MANIFEST.json rename; the first one
+# means the channel job is resumable. Then pull the plug, hard.
+i=0
+until ls "$data/$chan"/ckpt/step-*/MANIFEST.json > /dev/null 2>&1; do
+    if ! kill -0 "$pid" 2> /dev/null; then
+        echo "serve-smoke: server died before the first checkpoint" >&2
+        cat "$dir/server1.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "serve-smoke: no checkpoint after 60s" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+
+grep -q "^event: status" "$dir/watch1.out"
+grep -q "^event: status" "$dir/watch2.out"
+
+# Restart on the same store: recovery must re-enqueue the interrupted
+# channel job (status.json still claims running/queued) and finish it.
+start_server 2
+wait_done "$chan"
+wait_done "$iso"
+
+# The recovered job really did resume from its checkpoint rather than
+# restart from scratch.
+curl -s "http://$addr/v1/jobs/$chan" > "$dir/final_channel.json"
+grep -q '"resumes": *[1-9]' "$dir/final_channel.json"
+grep -q '"step": *30' "$dir/final_channel.json"
+
+# Stored artifacts: every completed run's BENCH report must validate.
+$GO run ./cmd/bench-validate "$data/$chan/report.json" "$data/$iso/report.json"
+
+# The run-store listing tool sees both runs as done.
+$GO run ./cmd/ckpt ls -runs "$data" > "$dir/ls_runs.out"
+grep -q "$chan  done" "$dir/ls_runs.out"
+grep -q "$iso  done" "$dir/ls_runs.out"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "serve-smoke: graceful shutdown exited non-zero" >&2
+    cat "$dir/server2.log" >&2
+    exit 1
+fi
+echo "serve-smoke: ok"
